@@ -1,0 +1,97 @@
+package cmetiling_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the four command-line tools once per test run.
+func buildTools(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	tools := map[string]string{}
+	for _, name := range []string{"tilegen", "cachesim", "cmereport", "experiments"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		tools[name] = bin
+	}
+	return tools
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got:\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}
+
+// TestCLIEndToEnd drives every binary through its main paths.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t)
+
+	// tilegen: catalog listing and a small search.
+	out := run(t, tools["tilegen"], "-list")
+	for _, k := range []string{"MM", "VPENTA1", "DRADFG2"} {
+		if !strings.Contains(out, k) {
+			t.Fatalf("tilegen -list missing %s:\n%s", k, out)
+		}
+	}
+	out = run(t, tools["tilegen"], "-kernel", "T2D", "-size", "100", "-cache", "8k", "-seed", "3")
+	if !strings.Contains(out, "best tile") || !strings.Contains(out, "tiled nest") {
+		t.Fatalf("tilegen output:\n%s", out)
+	}
+	runExpectError(t, tools["tilegen"], "-kernel", "NOPE")
+	runExpectError(t, tools["tilegen"], "-cache", "9k")
+
+	// tilegen -file over a shipped kernel description.
+	out = run(t, tools["tilegen"], "-file", "kernels/conflict.loop", "-mode", "pad")
+	if !strings.Contains(out, "best padding") {
+		t.Fatalf("tilegen -file -mode pad output:\n%s", out)
+	}
+
+	// cachesim: exact simulation with per-reference breakdown.
+	out = run(t, tools["cachesim"], "-kernel", "T2D", "-size", "64", "-tile", "8,8")
+	if !strings.Contains(out, "per-reference breakdown") || !strings.Contains(out, "conflict misses") {
+		t.Fatalf("cachesim output:\n%s", out)
+	}
+	runExpectError(t, tools["cachesim"], "-kernel", "T2D", "-size", "64", "-tile", "8")
+
+	// cmereport: reuse vectors and equation counts.
+	out = run(t, tools["cmereport"], "-kernel", "MM", "-size", "20", "-points", "64")
+	if !strings.Contains(out, "reuse vectors") || !strings.Contains(out, "cache miss equations") {
+		t.Fatalf("cmereport output:\n%s", out)
+	}
+	out = run(t, tools["cmereport"], "-kernel", "T2D", "-size", "20", "-tile", "4,4", "-points", "32")
+	if !strings.Contains(out, "convex region") {
+		t.Fatalf("cmereport tiled output:\n%s", out)
+	}
+
+	// experiments: quick Table 2 regeneration.
+	out = run(t, tools["experiments"], "-table2", "-quick", "-quickcap", "64", "-points", "64")
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "JACOBI3D") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+}

@@ -1,0 +1,182 @@
+// Command experiments regenerates the paper's evaluation: Table 2,
+// Figures 8 and 9, Table 3, Table 4, and the §3.3 GA-convergence numbers.
+//
+// Usage:
+//
+//	experiments -all                  # everything, full problem sizes
+//	experiments -figure8 -quick      # Figure 8 at reduced sizes
+//	experiments -table3 -csv out/    # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table and figure")
+		table2   = flag.Bool("table2", false, "regenerate Table 2")
+		figure8  = flag.Bool("figure8", false, "regenerate Figure 8 (8KB)")
+		figure9  = flag.Bool("figure9", false, "regenerate Figure 9 (32KB)")
+		table3   = flag.Bool("table3", false, "regenerate Table 3 (both caches)")
+		table4   = flag.Bool("table4", false, "regenerate Table 4 (implies figures)")
+		conv     = flag.Bool("convergence", false, "measure GA convergence (§3.3)")
+		sampChk  = flag.Bool("sampling", false, "validate the §2.3 sampling rule (164 points)")
+		assoc    = flag.Bool("assoc", false, "associativity-sweep extension (beyond the paper)")
+		inter    = flag.Bool("interchange", false, "interchange-vs-tiling extension (beyond the paper)")
+		quick    = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+		quickCap = flag.Int64("quickcap", 200, "size ceiling in quick mode")
+		seed     = flag.Uint64("seed", 2002, "experiment seed")
+		points   = flag.Int("points", 0, "sample points per evaluation (0 = paper's 164)")
+		csvDir   = flag.String("csv", "", "directory to write CSV result files into")
+		bars     = flag.Bool("bars", false, "also render figures as ASCII bar charts")
+	)
+	flag.Parse()
+	if *all {
+		*table2, *figure8, *figure9, *table3, *table4 = true, true, true, true, true
+		*conv, *sampChk, *assoc, *inter = true, true, true, true
+	}
+	if !(*table2 || *figure8 || *figure9 || *table3 || *table4 || *conv || *sampChk || *assoc || *inter) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points}
+
+	var fig8Rows, fig9Rows []experiments.FigureRow
+	var err error
+
+	if *table2 {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *figure8 || *table4 {
+		fig8Rows, err = experiments.Figure(cache.DM8K, nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderFigure(os.Stdout, "Figure 8: replacement miss ratio before/after tiling (8KB)", fig8Rows)
+		if *bars {
+			fmt.Println()
+			experiments.RenderFigureBars(os.Stdout, "Figure 8 (bars)", fig8Rows)
+		}
+		fmt.Println()
+		writeCSV(*csvDir, "figure8.csv", fig8Rows)
+	}
+	if *figure9 || *table4 {
+		fig9Rows, err = experiments.Figure(cache.DM32K, nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderFigure(os.Stdout, "Figure 9: replacement miss ratio before/after tiling (32KB)", fig9Rows)
+		if *bars {
+			fmt.Println()
+			experiments.RenderFigureBars(os.Stdout, "Figure 9 (bars)", fig9Rows)
+		}
+		fmt.Println()
+		writeCSV(*csvDir, "figure9.csv", fig9Rows)
+	}
+	if *table3 {
+		for _, c := range []cache.Config{cache.DM8K, cache.DM32K} {
+			rows, err := experiments.Table3(c, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.RenderTable3(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+	if *table4 {
+		rows := []experiments.Table4Row{
+			experiments.Table4("8KB", fig8Rows),
+			experiments.Table4("32KB", fig9Rows),
+		}
+		experiments.RenderTable4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *assoc {
+		rows, err := experiments.AssocSweep("MM", 500, []int{1, 2, 4, 8}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderAssoc(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *inter {
+		var rows []experiments.InterchangeRow
+		for _, e := range []struct {
+			kernel string
+			size   int64
+		}{{"MM", 500}, {"T2D", 500}, {"T3DJIK", 100}, {"T3DIKJ", 100}} {
+			row, err := experiments.InterchangeVsTiling(e.kernel, e.size, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		experiments.RenderInterchange(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *sampChk {
+		fmt.Println("Sampling validation (§2.3): 164-point interval vs 8200-point reference")
+		for _, e := range []struct {
+			kernel string
+			size   int64
+		}{{"T2D", 500}, {"MM", 500}, {"JACOBI3D", 100}, {"DPSSB", 0}} {
+			chk, err := experiments.CheckSampling(e.kernel, e.size, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			status := "OK"
+			if !chk.WithinInterval {
+				status = "OUTSIDE"
+			}
+			fmt.Printf("  %-12s paper: %v  precise: %v  [%s]\n",
+				fmt.Sprintf("%s_%d", chk.Kernel, chk.Size), chk.PaperEstimate, chk.PreciseEstimate, status)
+		}
+		fmt.Println()
+	}
+	if *conv {
+		entries := []experiments.Entry{
+			{Kernel: "MM", Size: 100}, {Kernel: "MM", Size: 500},
+			{Kernel: "T2D", Size: 500}, {Kernel: "T3DJIK", Size: 100},
+			{Kernel: "JACOBI3D", Size: 100}, {Kernel: "DPSSB"},
+		}
+		rows, err := experiments.Convergence(entries, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderConvergence(os.Stdout, rows)
+	}
+}
+
+func writeCSV(dir, name string, rows []experiments.FigureRow) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := experiments.CSVFigure(f, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

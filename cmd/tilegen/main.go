@@ -1,0 +1,131 @@
+// Command tilegen runs the paper's searches on a benchmark kernel: GA tile
+// selection (default), GA padding selection, sequential padding+tiling, or
+// the joint single-genome search.
+//
+// Usage:
+//
+//	tilegen -kernel MM -size 500 -cache 8k -seed 1
+//	tilegen -kernel VPENTA1 -mode padtile
+//	tilegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cmetiling "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "MM", "kernel name from the Table-1 catalog")
+		file   = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
+		size   = flag.Int64("size", 0, "problem size (0 = kernel default)")
+		cacheF = flag.String("cache", "8k", "cache config: 8k, 32k, or size:line:assoc in bytes")
+		seed   = flag.Uint64("seed", 1, "random seed (searches are deterministic per seed)")
+		points = flag.Int("points", 0, "sample points per evaluation (0 = paper's 164)")
+		mode   = flag.String("mode", "tile", "search mode: tile, order, pad, padtile, joint")
+		list   = flag.Bool("list", false, "list the kernel catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-10s %-5s %-18s %s\n", "NAME", "PROGRAM", "DEPTH", "SIZES", "DESCRIPTION")
+		for _, k := range cmetiling.Kernels() {
+			sizes := "fixed"
+			if len(k.Sizes) > 0 {
+				parts := make([]string, len(k.Sizes))
+				for i, s := range k.Sizes {
+					parts[i] = fmt.Sprint(s)
+				}
+				sizes = strings.Join(parts, ",")
+			}
+			fmt.Printf("%-10s %-10s %-5d %-18s %s\n", k.Name, k.Program, k.Depth, sizes, k.Description)
+		}
+		return
+	}
+
+	cfg, err := cliutil.ParseCache(*cacheF)
+	if err != nil {
+		fatal(err)
+	}
+	var nest *cmetiling.Nest
+	if *file != "" {
+		nest, err = cmetiling.ParseKernelFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		k, ok := cmetiling.GetKernel(*kernel)
+		if !ok {
+			fatal(fmt.Errorf("unknown kernel %q (use -list)", *kernel))
+		}
+		nest, err = k.Instance(*size)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opt := cmetiling.Options{Cache: cfg, Seed: *seed, SamplePoints: *points}
+
+	fmt.Printf("kernel %s  cache %v  seed %d\n", nest.Name, cfg, *seed)
+	fmt.Print(nest.String())
+
+	switch *mode {
+	case "tile":
+		res, err := cmetiling.OptimizeTiling(nest, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbest tile: %v (GA: %d generations, %d evaluations)\n",
+			res.Tile, res.GA.Generations, res.GA.Evaluations)
+		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
+		fmt.Println("\ntiled nest:")
+		fmt.Print(res.TiledNest.String())
+	case "order":
+		res, err := cmetiling.OptimizeTilingOrder(nest, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbest tile: %v  tile-loop order: %v (GA: %d generations, %d evaluations)\n",
+			res.Tile, res.Order, res.GA.Generations, res.GA.Evaluations)
+		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
+		fmt.Println("\ntiled nest:")
+		fmt.Print(res.TiledNest.String())
+	case "pad":
+		res, err := cmetiling.OptimizePadding(nest, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbest padding: inter %v intra %v (elements)\n", res.Plan.Inter, res.Plan.Intra)
+		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
+	case "padtile":
+		res, err := cmetiling.OptimizePaddingThenTiling(nest, opt)
+		if err != nil {
+			fatal(err)
+		}
+		printCombined(res)
+	case "joint":
+		res, err := cmetiling.OptimizeJoint(nest, opt)
+		if err != nil {
+			fatal(err)
+		}
+		printCombined(res)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func printCombined(res *cmetiling.CombinedResult) {
+	fmt.Printf("\npadding: inter %v intra %v (elements)\ntile: %v\n",
+		res.Plan.Inter, res.Plan.Intra, res.Tile)
+	fmt.Printf("original:        %v\npadding only:    %v\npadding+tiling:  %v\n",
+		res.Original, res.Padded, res.Combined)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tilegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+// Package cmetiling reproduces "Near-Optimal Loop Tiling by means of Cache
+// Miss Equations and Genetic Algorithms" (Abella, González, Llosa, Vera —
+// ICPP Workshops 2002): an automatic tile-size (and padding) selector for
+// perfectly nested affine loops, driven by an exact analytical cache model
+// (Cache Miss Equations) solved by iteration-space traversal with simple
+// random sampling, and searched with a genetic algorithm.
+//
+// # Quick start
+//
+//	k, _ := cmetiling.GetKernel("MM")            // Figure-1 matrix multiply
+//	nest, _ := k.Instance(500)                   // N=500 instance
+//	res, _ := cmetiling.OptimizeTiling(nest, cmetiling.Options{
+//		Cache: cmetiling.DM8K,                   // 8KB direct-mapped, 32B lines
+//		Seed:  1,
+//	})
+//	fmt.Printf("tile %v: %.1f%% -> %.1f%% replacement misses\n",
+//		res.Tile, 100*res.Before.ReplacementRatio, 100*res.After.ReplacementRatio)
+//
+// Custom loop nests are built from the ir package's types (re-exported
+// here): arrays with explicit layout, affine references, rectangular
+// loops. See examples/ for complete programs.
+//
+// # Architecture
+//
+//   - internal/ir, internal/expr: the affine loop-nest representation.
+//   - internal/iterspace: rectangular and tiled iteration spaces (§2.4's
+//     2ⁿ convex regions), traversal and uniform sampling.
+//   - internal/reuse: Wolf–Lam reuse vectors.
+//   - internal/cme: Cache Miss Equations — the exact per-access point
+//     solver (§2.2–2.3) and the symbolic equation generator (§2.1).
+//   - internal/sampling: the §2.3 statistical estimator (164 points for a
+//     width-0.1, 90%-confidence interval).
+//   - internal/ga: the §3.2–3.3 genetic algorithm.
+//   - internal/tiling, internal/padding: the program transformations.
+//   - internal/core: the searches gluing it all together.
+//   - internal/cachesim: the trace-driven simulator used as ground truth.
+//   - internal/kernels: all Table-1 benchmark kernels.
+//   - internal/experiments: regeneration of every table and figure.
+package cmetiling
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/cme"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+	"repro/internal/kernels"
+	"repro/internal/parser"
+	"repro/internal/sampling"
+	"repro/internal/tiling"
+)
+
+// Cache geometry.
+type (
+	// CacheConfig describes a cache: size, line size, associativity.
+	CacheConfig = cache.Config
+)
+
+// The paper's two evaluated configurations.
+var (
+	// DM8K is an 8KB direct-mapped cache with 32-byte lines.
+	DM8K = cache.DM8K
+	// DM32K is a 32KB direct-mapped cache with 32-byte lines.
+	DM32K = cache.DM32K
+)
+
+// Loop-nest construction.
+type (
+	// Nest is a perfectly nested affine loop nest.
+	Nest = ir.Nest
+	// Loop is one loop of a nest.
+	Loop = ir.Loop
+	// Array is a program array with explicit memory layout.
+	Array = ir.Array
+	// Ref is an affine array reference.
+	Ref = ir.Ref
+	// Affine is an affine expression over loop variables.
+	Affine = expr.Affine
+)
+
+// Expression helpers for building references and bounds.
+var (
+	// Const builds a constant expression.
+	Const = expr.Const
+	// Var builds the expression v_i for loop depth i (0 = outermost).
+	Var = expr.Var
+	// VarPlus builds v_i + c.
+	VarPlus = expr.VarPlus
+	// BoundOf wraps an expression as a loop upper bound.
+	BoundOf = ir.BoundOf
+	// LayoutArrays assigns consecutive aligned base addresses.
+	LayoutArrays = ir.LayoutArrays
+)
+
+// Searches (the paper's contribution).
+type (
+	// Options configures a search; the zero value plus a Cache gives the
+	// paper's parameters (164 sample points, population 30, pc 0.9,
+	// pm 0.001, 15–25 generations).
+	Options = core.Options
+	// TilingResult reports a tile search.
+	TilingResult = core.TilingResult
+	// PaddingResult reports a padding search.
+	PaddingResult = core.PaddingResult
+	// CombinedResult reports padding+tiling (sequential or joint).
+	CombinedResult = core.CombinedResult
+	// OrderedTilingResult reports the tile-size + loop-order search.
+	OrderedTilingResult = core.OrderedTilingResult
+	// Level couples a cache level with its miss penalty.
+	Level = core.Level
+	// MultiLevelResult reports a cache-hierarchy tile search.
+	MultiLevelResult = core.MultiLevelResult
+	// Estimate is a sampled miss-ratio estimate with confidence interval.
+	Estimate = sampling.Estimate
+	// Stats are exact or sampled access-outcome counts.
+	Stats = cachesim.Stats
+	// Kernel is a Table-1 benchmark kernel.
+	Kernel = kernels.Kernel
+)
+
+// OptimizeTiling searches tile sizes with the CME+GA method of §3.
+func OptimizeTiling(nest *Nest, opt Options) (*TilingResult, error) {
+	return core.OptimizeTiling(nest, opt)
+}
+
+// OptimizeTilingOrder searches tile sizes together with the interchange
+// order of the tile loops — the full "strip-mining + interchange" space
+// (an extension of the paper's fixed-order search).
+func OptimizeTilingOrder(nest *Nest, opt Options) (*OrderedTilingResult, error) {
+	return core.OptimizeTilingOrder(nest, opt)
+}
+
+// OptimizeTilingMultiLevel searches tile sizes against a whole cache
+// hierarchy, minimising the penalty-weighted replacement-miss cost (an
+// extension; the paper evaluates one level at a time).
+func OptimizeTilingMultiLevel(nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+	return core.OptimizeTilingMultiLevel(nest, levels, opt)
+}
+
+// OptimizePadding searches inter-/intra-array padding (§4.3, [28]).
+func OptimizePadding(nest *Nest, opt Options) (*PaddingResult, error) {
+	return core.OptimizePadding(nest, opt)
+}
+
+// OptimizePaddingThenTiling runs the two searches sequentially (Table 3).
+func OptimizePaddingThenTiling(nest *Nest, opt Options) (*CombinedResult, error) {
+	return core.OptimizePaddingThenTiling(nest, opt)
+}
+
+// OptimizeJoint searches padding and tiling in a single genome (the
+// paper's stated future work).
+func OptimizeJoint(nest *Nest, opt Options) (*CombinedResult, error) {
+	return core.OptimizeJoint(nest, opt)
+}
+
+// Simulate runs the nest's full reference trace through a trace-driven
+// LRU simulator and returns exact miss statistics — the ground truth the
+// analytical model is validated against.
+func Simulate(nest *Nest, cfg CacheConfig) Stats {
+	return cachesim.SimulateNest(nest, cfg)
+}
+
+// AnalyzeExact classifies every access of the nest with the CME point
+// solver (exhaustive; small nests only) and returns the aggregate counts.
+// It equals Simulate access-for-access.
+func AnalyzeExact(nest *Nest, cfg CacheConfig) (Stats, error) {
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return Stats{}, err
+	}
+	an, err := cme.NewAnalyzer(nest, box, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return an.ExhaustiveStats(), nil
+}
+
+// ApplyTiling tiles the nest with the given tile vector, returning the
+// transformed nest (Figure 3(b) form).
+func ApplyTiling(nest *Nest, tile []int64) (*Nest, error) {
+	tiled, _, err := tiling.Apply(nest, tile)
+	return tiled, err
+}
+
+// ParseKernel reads a textual loop-nest description (the format documented
+// in internal/parser: array declarations followed by one perfect do-nest
+// of read/write references) and returns the nest.
+func ParseKernel(r io.Reader, name string) (*Nest, error) {
+	prog, err := parser.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Nest, nil
+}
+
+// ParseKernelFile is ParseKernel over a file path.
+func ParseKernelFile(path string) (*Nest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseKernel(f, path)
+}
+
+// Kernels returns the Table-1 benchmark catalog.
+func Kernels() []Kernel { return kernels.All() }
+
+// GetKernel looks a benchmark kernel up by its Table-1 name.
+func GetKernel(name string) (Kernel, bool) { return kernels.Get(name) }
+
+// PaperSampleSize is the §2.3 sample size (164 iteration points for a
+// width-0.1 interval at 90% confidence).
+const PaperSampleSize = sampling.PaperSampleSize
+
+// assert the facade types stay usable as iterspace consumers.
+var _ iterspace.Space = (*iterspace.Box)(nil)

@@ -1,0 +1,132 @@
+package cmetiling_test
+
+import (
+	"strings"
+	"testing"
+
+	cmetiling "repro"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	k, ok := cmetiling.GetKernel("MM")
+	if !ok {
+		t.Fatal("MM kernel missing")
+	}
+	nest, err := k.Instance(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cmetiling.DM8K, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tile) != 3 {
+		t.Fatalf("tile = %v", res.Tile)
+	}
+	if res.After.ReplacementRatio >= res.Before.ReplacementRatio {
+		t.Fatalf("tiling did not help: %.3f -> %.3f",
+			res.Before.ReplacementRatio, res.After.ReplacementRatio)
+	}
+}
+
+// TestCustomNestThroughFacade builds a nest with the exported construction
+// helpers and runs both the simulator and the exact analyzer on it.
+func TestCustomNestThroughFacade(t *testing.T) {
+	n := int64(48)
+	a := &cmetiling.Array{Name: "a", Dims: []int64{n, n}, Elem: 8}
+	b := &cmetiling.Array{Name: "b", Dims: []int64{n, n}, Elem: 8}
+	cmetiling.LayoutArrays(0, 32, a, b)
+	nest := &cmetiling.Nest{
+		Name: "custom-transpose",
+		Loops: []cmetiling.Loop{
+			{Var: "i", Lower: cmetiling.Const(1), Upper: cmetiling.BoundOf(cmetiling.Const(n)), Step: 1},
+			{Var: "j", Lower: cmetiling.Const(1), Upper: cmetiling.BoundOf(cmetiling.Const(n)), Step: 1},
+		},
+		Refs: []cmetiling.Ref{
+			{Array: b, Subs: []cmetiling.Affine{cmetiling.Var(0), cmetiling.Var(1)}},
+			{Array: a, Subs: []cmetiling.Affine{cmetiling.Var(1), cmetiling.Var(0)}, Write: true},
+		},
+	}
+	if err := nest.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cmetiling.CacheConfig{Size: 2048, LineSize: 32, Assoc: 1}
+	sim := cmetiling.Simulate(nest, cfg)
+	exact, err := cmetiling.AnalyzeExact(nest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != exact {
+		t.Fatalf("analyzer %+v != simulator %+v", exact, sim)
+	}
+
+	tiled, err := cmetiling.ApplyTiling(nest, []int64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cmetiling.Simulate(tiled, cfg)
+	if after.Replacement >= sim.Replacement {
+		t.Fatalf("8x8 tiling did not reduce misses: %d -> %d", sim.Replacement, after.Replacement)
+	}
+	if after.Compulsory != sim.Compulsory {
+		t.Fatal("tiling changed compulsory misses")
+	}
+}
+
+func TestCatalogThroughFacade(t *testing.T) {
+	if len(cmetiling.Kernels()) != 17 {
+		t.Fatalf("catalog size = %d", len(cmetiling.Kernels()))
+	}
+	if cmetiling.PaperSampleSize != 164 {
+		t.Fatal("PaperSampleSize")
+	}
+	if _, ok := cmetiling.GetKernel("nope"); ok {
+		t.Fatal("unknown kernel found")
+	}
+}
+
+// TestParseKernelThroughFacade: the textual front end feeds the optimizer.
+func TestParseKernelThroughFacade(t *testing.T) {
+	src := `
+array a(64,64) real8
+array b(64,64) real8
+do i = 1, 64
+  do j = 1, 64
+    read  b(i, j)
+    write a(j, i)
+  end
+end
+`
+	nest, err := cmetiling.ParseKernel(strings.NewReader(src), "custom-t2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cmetiling.CacheConfig{Size: 2048, LineSize: 32, Assoc: 1}
+	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cfg, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.ReplacementRatio >= res.Before.ReplacementRatio {
+		t.Fatalf("parsed kernel not improved: %v -> %v", res.Before, res.After)
+	}
+	if _, err := cmetiling.ParseKernel(strings.NewReader("garbage"), "bad"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := cmetiling.ParseKernelFile("/nonexistent.loop"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestShippedKernelFiles: the sample kernel files in kernels/ parse.
+func TestShippedKernelFiles(t *testing.T) {
+	for _, f := range []string{"kernels/transpose500.loop", "kernels/conflict.loop"} {
+		nest, err := cmetiling.ParseKernelFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := nest.Validate(); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+}

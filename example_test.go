@@ -1,0 +1,71 @@
+package cmetiling_test
+
+import (
+	"fmt"
+	"strings"
+
+	cmetiling "repro"
+)
+
+// ExampleParseKernel shows the textual front end and the exact simulator.
+func ExampleParseKernel() {
+	src := `
+array a(64,64) real8
+array b(64,64) real8
+do i = 1, 64
+  do j = 1, 64
+    read  b(i, j)
+    write a(j, i)
+  end
+end
+`
+	nest, err := cmetiling.ParseKernel(strings.NewReader(src), "t2d")
+	if err != nil {
+		panic(err)
+	}
+	st := cmetiling.Simulate(nest, cmetiling.DM8K)
+	fmt.Printf("accesses=%d compulsory=%d\n", st.Accesses, st.Compulsory)
+	// Output:
+	// accesses=8192 compulsory=2048
+}
+
+// ExampleApplyTiling shows the Figure-3 transformation.
+func ExampleApplyTiling() {
+	src := `
+array a(10,10) real8
+array b(10,10) real8
+do i = 1, 10
+  do j = 1, 10
+    read  b(i, j)
+    write a(j, i)
+  end
+end
+`
+	nest, _ := cmetiling.ParseKernel(strings.NewReader(src), "t2d")
+	tiled, err := cmetiling.ApplyTiling(nest, []int64{4, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(tiled.String())
+	// Output:
+	// do ii_i = 1, 10, 4
+	//   do ii_j = 1, 10, 3
+	//     do i = ii_i, min(ii_i+3,10)
+	//       do j = ii_j, min(ii_j+2,10)
+	//         read  b(i,j)
+	//         write a(j,i)
+}
+
+// ExampleAnalyzeExact shows that the analytical model equals simulation.
+func ExampleAnalyzeExact() {
+	k, _ := cmetiling.GetKernel("T2D")
+	nest, _ := k.Instance(32)
+	exact, err := cmetiling.AnalyzeExact(nest, cmetiling.DM8K)
+	if err != nil {
+		panic(err)
+	}
+	sim := cmetiling.Simulate(nest, cmetiling.DM8K)
+	fmt.Println(exact == sim)
+	// Output:
+	// true
+}

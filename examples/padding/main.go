@@ -1,0 +1,52 @@
+// Padding walkthrough (the paper's §4.3 / Table 3): on a conflict-bound
+// kernel, tiling alone cannot help because the arrays alias in the cache;
+// padding realigns them, and padding+tiling removes (nearly) everything.
+// The joint single-genome search — the paper's stated future work — is run
+// for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cmetiling "repro"
+)
+
+func main() {
+	kernel, _ := cmetiling.GetKernel("VPENTA1")
+	nest, err := kernel.Instance(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cmetiling.DM8K
+	opt := cmetiling.Options{Cache: cfg, Seed: 11}
+
+	fmt.Println("kernel: VPENTA1 (NAS) — cache-aligned arrays, N=256")
+
+	tileOnly, err := cmetiling.OptimizeTiling(nest, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padOnly, err := cmetiling.OptimizePadding(nest, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := cmetiling.OptimizePaddingThenTiling(nest, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	joint, err := cmetiling.OptimizeJoint(nest, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-26s %10s\n", "configuration", "repl. miss")
+	fmt.Printf("%-26s %9.2f%%\n", "original", 100*tileOnly.Before.ReplacementRatio)
+	fmt.Printf("%-26s %9.2f%%   tile %v\n", "tiling only", 100*tileOnly.After.ReplacementRatio, tileOnly.Tile)
+	fmt.Printf("%-26s %9.2f%%   inter %v\n", "padding only", 100*padOnly.After.ReplacementRatio, padOnly.Plan.Inter)
+	fmt.Printf("%-26s %9.2f%%   tile %v\n", "padding then tiling", 100*seq.Combined.ReplacementRatio, seq.Tile)
+	fmt.Printf("%-26s %9.2f%%   tile %v\n", "joint (single genome)", 100*joint.Combined.ReplacementRatio, joint.Tile)
+
+	fmt.Println("\nthe Table-3 shape: conflicts defeat tiling, padding removes them,")
+	fmt.Println("and the combination approaches zero replacement misses.")
+}

@@ -1,0 +1,38 @@
+// Stencil sweep: tile the 3D Jacobi solver for a range of cache sizes and
+// watch the selected tiles grow with the cache — the working set the GA
+// discovers tracks the capacity constraint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cmetiling "repro"
+)
+
+func main() {
+	kernel, _ := cmetiling.GetKernel("JACOBI3D")
+	nest, err := kernel.Instance(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("kernel: 3D 7-point Jacobi, N=100")
+	fmt.Printf("%-22s %12s %12s %14s\n", "cache", "before", "after", "tile (k,j,i)")
+
+	for _, cfg := range []cmetiling.CacheConfig{
+		{Size: 4 * 1024, LineSize: 32, Assoc: 1},
+		{Size: 8 * 1024, LineSize: 32, Assoc: 1},  // the paper's Figure 8
+		{Size: 32 * 1024, LineSize: 32, Assoc: 1}, // the paper's Figure 9
+		{Size: 8 * 1024, LineSize: 32, Assoc: 2},  // beyond the paper: 2-way
+	} {
+		res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cfg, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22v %11.2f%% %11.2f%%   %v\n",
+			cfg, 100*res.Before.ReplacementRatio, 100*res.After.ReplacementRatio, res.Tile)
+	}
+
+	fmt.Println("\nlarger caches leave fewer replacement misses to remove, and")
+	fmt.Println("associativity absorbs part of the conflict residue on its own.")
+}

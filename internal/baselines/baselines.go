@@ -1,0 +1,349 @@
+// Package baselines implements the tile-size selection algorithms the
+// paper's related-work section compares against conceptually (§5): a fixed
+// square-root heuristic, Lam–Rothberg–Wolf's largest non-self-interfering
+// square, a Coleman–McKinley-style Euclidean candidate search (TSS), and
+// the Ghosh/Martonosi/Malik self-interference maximisation. They produce
+// tile vectors for the same nests the GA optimises, enabling head-to-head
+// ablation benchmarks.
+//
+// Each selector is a documented reconstruction of the published
+// algorithm's core idea, specialised to this repository's IR; none of the
+// original implementations are available.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/tiling"
+)
+
+// Selector is one tile-size selection algorithm.
+type Selector struct {
+	Name        string
+	Description string
+	Select      func(nest *ir.Nest, cfg cache.Config) ([]int64, error)
+}
+
+// All returns the selectors in comparison order.
+func All() []Selector {
+	return []Selector{
+		{
+			Name:        "fixed-sqrt",
+			Description: "square tiles sized so one tile per array fits in cache",
+			Select:      FixedSquare,
+		},
+		{
+			Name:        "lrw",
+			Description: "Lam–Rothberg–Wolf largest non-self-interfering square",
+			Select:      LRW,
+		},
+		{
+			Name:        "tss",
+			Description: "Coleman–McKinley Euclidean candidate tiles (TSS/ESS)",
+			Select:      TSS,
+		},
+		{
+			Name:        "ghosh-self",
+			Description: "Ghosh et al. per-equation self-interference maximisation",
+			Select:      GhoshSelf,
+		},
+	}
+}
+
+// FixedSquare sizes equal tile extents so that the per-array tile
+// footprint sums to the cache capacity: T = ⌊(C / (A·elem))^(1/k)⌋,
+// clamped per dimension.
+func FixedSquare(nest *ir.Nest, cfg cache.Config) ([]int64, error) {
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	arrays := nest.Arrays()
+	if len(arrays) == 0 {
+		return nil, fmt.Errorf("baselines: nest has no arrays")
+	}
+	elem := arrays[0].Elem
+	k := nest.Depth()
+	budget := float64(cfg.Size) / float64(int64(len(arrays))*elem)
+	t := int64(math.Floor(math.Pow(budget, 1/float64(k))))
+	if t < 1 {
+		t = 1
+	}
+	tile := make([]int64, k)
+	for d := range tile {
+		tile[d] = clamp(t, 1, box.Extent(d))
+	}
+	return tile, nil
+}
+
+// LRW implements the Lam–Rothberg–Wolf idea: the largest square tile of
+// the critical array (the reference with the largest column stride) whose
+// rows occupy pairwise disjoint cache-set ranges — no self-interference.
+// Dimensions not used by the critical reference stay untiled.
+func LRW(nest *ir.Nest, cfg cache.Config) ([]int64, error) {
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	ref, rowVar, colVar, colStride := criticalRef(nest)
+	if ref == nil {
+		// No two-dimensional reference: fall back to the fixed heuristic.
+		return FixedSquare(nest, cfg)
+	}
+	elem := ref.Array.Elem
+	maxT := min64(box.Extent(rowVar), box.Extent(colVar))
+	if lines := cfg.Size / cfg.LineSize; maxT > lines {
+		maxT = lines
+	}
+	best := int64(1)
+	for t := maxT; t >= 1; t-- {
+		if !selfInterferes(t, colStride*elem, cfg) {
+			best = t
+			break
+		}
+	}
+	tile := make([]int64, nest.Depth())
+	for d := range tile {
+		tile[d] = box.Extent(d)
+	}
+	tile[rowVar] = clamp(best, 1, box.Extent(rowVar))
+	tile[colVar] = clamp(best, 1, box.Extent(colVar))
+	return tile, nil
+}
+
+// selfInterferes reports whether a t×t tile with the given column stride
+// (bytes) has two rows whose footprints overlap in cache-set space.
+func selfInterferes(t, colStrideBytes int64, cfg cache.Config) bool {
+	rowBytes := t * 8 // row footprint along the fast dimension
+	starts := make([]int64, t)
+	for j := int64(0); j < t; j++ {
+		starts[j] = (j * colStrideBytes) % cfg.Size
+	}
+	for a := 0; a < len(starts); a++ {
+		for b := a + 1; b < len(starts); b++ {
+			if rangesOverlapMod(starts[a], rowBytes, starts[b], rowBytes, cfg.Size) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func rangesOverlapMod(a, alen, b, blen, m int64) bool {
+	d := (b - a) % m
+	if d < 0 {
+		d += m
+	}
+	return d < alen || m-d < blen
+}
+
+// TSS implements the Coleman–McKinley tile-size-selection idea: Euclidean-
+// algorithm remainders of (cache size, column stride) generate candidate
+// tile heights whose rows pack the cache without self-conflict; the
+// algorithm picks the candidate maximising tile area under the capacity
+// constraint shared by all arrays.
+func TSS(nest *ir.Nest, cfg cache.Config) ([]int64, error) {
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	ref, rowVar, colVar, colStride := criticalRef(nest)
+	if ref == nil {
+		return FixedSquare(nest, cfg)
+	}
+	elem := ref.Array.Elem
+	arrays := int64(len(nest.Arrays()))
+	capacityElems := cfg.Size / elem / arrays
+
+	// Euclidean chain on (cache elements, column stride in elements).
+	cand := []int64{1}
+	a, b := cfg.Size/elem, colStride
+	for b > 0 {
+		cand = append(cand, b)
+		a, b = b, a%b
+	}
+	bestArea := int64(0)
+	bestH, bestW := int64(1), int64(1)
+	for _, h := range cand {
+		h = clamp(h, 1, box.Extent(colVar))
+		w := capacityElems / h
+		w = clamp(w, 1, box.Extent(rowVar))
+		if h*w > bestArea {
+			bestArea, bestH, bestW = h*w, h, w
+		}
+	}
+	tile := make([]int64, nest.Depth())
+	for d := range tile {
+		tile[d] = box.Extent(d)
+	}
+	tile[rowVar] = bestW
+	tile[colVar] = bestH
+	return tile, nil
+}
+
+// GhoshSelf reconstructs the CME-based selection sketched in [29]: for
+// each loop dimension, the largest tile extent such that the tile's
+// footprint in each array stays within one cache-sized window (no
+// self-interference equation has a solution). Cross interference is
+// ignored, as in the original proposal.
+func GhoshSelf(nest *ir.Nest, cfg cache.Config) ([]int64, error) {
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	k := nest.Depth()
+	tile := make([]int64, k)
+	for d := 0; d < k; d++ {
+		tile[d] = box.Extent(d)
+	}
+	// Shrink dimensions (innermost array strides last) until every
+	// reference's tile footprint fits within the cache.
+	for {
+		if maxFootprint(nest, tile) <= cfg.Size {
+			return tile, nil
+		}
+		// Halve the dimension contributing the largest stride growth.
+		grow := -1
+		var growAmt int64
+		for d := 0; d < k; d++ {
+			if tile[d] == 1 {
+				continue
+			}
+			amt := dimCost(nest, d) * tile[d]
+			if amt > growAmt {
+				growAmt, grow = amt, d
+			}
+		}
+		if grow < 0 {
+			return tile, nil // cannot shrink further
+		}
+		tile[grow] = (tile[grow] + 1) / 2
+	}
+}
+
+// maxFootprint returns the largest per-reference tile footprint in bytes.
+func maxFootprint(nest *ir.Nest, tile []int64) int64 {
+	var worst int64
+	for i := range nest.Refs {
+		ref := &nest.Refs[i]
+		strides := ref.Array.Strides()
+		span := int64(1) // bytes spanned by the tile through this ref
+		spanAddr := int64(0)
+		for d, sub := range ref.Subs {
+			if idx, coef, ok := sub.SingleVar(); ok {
+				extent := tile[idx]
+				spanAddr += abs64(coef) * (extent - 1) * strides[d] * ref.Array.Elem
+			}
+		}
+		span = spanAddr + ref.Array.Elem
+		if span > worst {
+			worst = span
+		}
+	}
+	return worst
+}
+
+// dimCost estimates how strongly loop dimension d stretches reference
+// footprints (the max stride it drives).
+func dimCost(nest *ir.Nest, d int) int64 {
+	var worst int64
+	for i := range nest.Refs {
+		ref := &nest.Refs[i]
+		strides := ref.Array.Strides()
+		for s, sub := range ref.Subs {
+			if idx, coef, ok := sub.SingleVar(); ok && idx == d {
+				c := abs64(coef) * strides[s] * ref.Array.Elem
+				if c > worst {
+					worst = c
+				}
+			}
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return worst
+}
+
+// criticalRef picks the array whose tile footprint the published
+// algorithms size the cache for: preferably a reference with temporal
+// reuse across the outermost loop (it does not use loop variable 0 — the
+// matmul c(k,j) case), falling back to the reference with the largest
+// column stride. It returns the loop variables of the fastest (row) and
+// slowest (column) subscript dimensions.
+func criticalRef(nest *ir.Nest) (ref *ir.Ref, rowVar, colVar int, colStride int64) {
+	if r, rv, cv, cs := pickCritical(nest, true); r != nil {
+		return r, rv, cv, cs
+	}
+	return pickCritical(nest, false)
+}
+
+func pickCritical(nest *ir.Nest, requireOuterReuse bool) (ref *ir.Ref, rowVar, colVar int, colStride int64) {
+	var bestStride int64 = -1
+	for i := range nest.Refs {
+		r := &nest.Refs[i]
+		if requireOuterReuse {
+			usesOuter := false
+			for _, sub := range r.Subs {
+				if idx, _, ok := sub.SingleVar(); ok && idx == 0 {
+					usesOuter = true
+					break
+				}
+			}
+			if usesOuter {
+				continue
+			}
+		}
+		strides := r.Array.Strides()
+		fastVar, slowVar := -1, -1
+		var fastStride, slowStride int64 = 1 << 62, -1
+		for d, sub := range r.Subs {
+			idx, _, ok := sub.SingleVar()
+			if !ok {
+				continue
+			}
+			sb := strides[d]
+			if sb < fastStride {
+				fastStride, fastVar = sb, idx
+			}
+			if sb > slowStride {
+				slowStride, slowVar = sb, idx
+			}
+		}
+		if fastVar < 0 || slowVar < 0 || fastVar == slowVar {
+			continue
+		}
+		if slowStride > bestStride {
+			bestStride = slowStride
+			ref, rowVar, colVar, colStride = r, fastVar, slowVar, slowStride
+		}
+	}
+	return ref, rowVar, colVar, colStride
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

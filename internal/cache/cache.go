@@ -1,0 +1,93 @@
+// Package cache models the cache geometry used by both the analytical
+// locality analysis (Cache Miss Equations) and the reference trace
+// simulator: size, line size, associativity, and the address→(line,set)
+// mapping of a physically indexed cache.
+package cache
+
+import "fmt"
+
+// Config describes one cache level. All sizes are in bytes. Assoc is the
+// number of ways; Assoc == 1 is a direct-mapped cache and
+// Assoc == Size/LineSize is fully associative.
+type Config struct {
+	Size     int64
+	LineSize int64
+	Assoc    int
+}
+
+// Common configurations used throughout the paper's evaluation.
+var (
+	// DM8K is the paper's primary configuration: 8KB direct-mapped,
+	// 32-byte lines (Tables 2–4, Figure 8).
+	DM8K = Config{Size: 8 * 1024, LineSize: 32, Assoc: 1}
+	// DM32K is the secondary configuration (Figure 9, Table 3 bottom).
+	DM32K = Config{Size: 32 * 1024, LineSize: 32, Assoc: 1}
+)
+
+// Validate checks geometric invariants: power-of-two line count per set
+// arrangement and divisibility.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: nonpositive geometry %+v", c)
+	}
+	if c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if int64(c.Assoc) > lines {
+		return fmt.Errorf("cache: associativity %d exceeds %d lines", c.Assoc, lines)
+	}
+	if lines%int64(c.Assoc) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	if s := c.NumSets(); s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// NumLines returns the total number of cache lines.
+func (c Config) NumLines() int64 { return c.Size / c.LineSize }
+
+// NumSets returns the number of cache sets.
+func (c Config) NumSets() int64 { return c.NumLines() / int64(c.Assoc) }
+
+// LineOf returns the memory-line number containing addr.
+func (c Config) LineOf(addr int64) int64 { return addr / c.LineSize }
+
+// LineStart returns the first byte address of the memory line containing addr.
+func (c Config) LineStart(addr int64) int64 { return addr &^ (c.LineSize - 1) }
+
+// SetOf returns the cache set index the address maps to.
+func (c Config) SetOf(addr int64) int64 { return c.LineOf(addr) % c.NumSets() }
+
+// SetOfLine returns the cache set index for a memory-line number.
+func (c Config) SetOfLine(line int64) int64 { return line % c.NumSets() }
+
+// ElemsPerLine returns how many elements of the given size fit in one line.
+func (c Config) ElemsPerLine(elem int64) int64 {
+	n := c.LineSize / elem
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// String renders the configuration like "8KB 1-way 32B lines".
+func (c Config) String() string {
+	return fmt.Sprintf("%s %d-way %dB lines", sizeStr(c.Size), c.Assoc, c.LineSize)
+}
+
+func sizeStr(b int64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,77 @@
+package cache
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := DM8K.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DM32K.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok := Config{Size: 8192, LineSize: 32, Assoc: 4}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Size: 0, LineSize: 32, Assoc: 1},
+		{Size: 8192, LineSize: 0, Assoc: 1},
+		{Size: 8192, LineSize: 32, Assoc: 0},
+		{Size: 8000, LineSize: 32, Assoc: 1},   // size not multiple of line
+		{Size: 8192, LineSize: 32, Assoc: 512}, // assoc > lines
+		{Size: 8192, LineSize: 32, Assoc: 3},   // lines not divisible
+		{Size: 96, LineSize: 24, Assoc: 1},     // line not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, c)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := DM8K
+	if c.NumLines() != 256 || c.NumSets() != 256 {
+		t.Fatalf("lines=%d sets=%d", c.NumLines(), c.NumSets())
+	}
+	w4 := Config{Size: 8192, LineSize: 32, Assoc: 4}
+	if w4.NumSets() != 64 {
+		t.Fatalf("4-way sets = %d", w4.NumSets())
+	}
+}
+
+func TestMapping(t *testing.T) {
+	c := DM8K
+	if c.LineOf(0) != 0 || c.LineOf(31) != 0 || c.LineOf(32) != 1 {
+		t.Fatal("LineOf wrong")
+	}
+	if c.LineStart(100) != 96 {
+		t.Fatalf("LineStart(100) = %d", c.LineStart(100))
+	}
+	// Addresses one cache-size apart map to the same set.
+	if c.SetOf(1234) != c.SetOf(1234+c.Size) {
+		t.Fatal("aliasing addresses map to different sets")
+	}
+	// Consecutive lines map to consecutive sets (mod sets).
+	if c.SetOf(0) != 0 || c.SetOf(32) != 1 || c.SetOfLine(257) != 1 {
+		t.Fatal("set mapping wrong")
+	}
+}
+
+func TestElemsPerLine(t *testing.T) {
+	if DM8K.ElemsPerLine(8) != 4 {
+		t.Fatalf("ElemsPerLine(8) = %d", DM8K.ElemsPerLine(8))
+	}
+	if DM8K.ElemsPerLine(64) != 1 { // element larger than line
+		t.Fatalf("ElemsPerLine(64) = %d", DM8K.ElemsPerLine(64))
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := DM8K.String(); s != "8KB 1-way 32B lines" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (Config{Size: 1 << 20, LineSize: 64, Assoc: 8}).String(); s != "1MB 8-way 64B lines" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: addresses one cache size apart always share a set; addresses
+// within one line share a line and hence a set.
+func TestQuickAliasing(t *testing.T) {
+	cfg := DM8K
+	f := func(addr uint32, k uint8) bool {
+		a := int64(addr)
+		if cfg.SetOf(a) != cfg.SetOf(a+int64(k)*cfg.Size) {
+			return false
+		}
+		off := int64(k) % cfg.LineSize
+		return cfg.LineOf(cfg.LineStart(a)+off) == cfg.LineOf(a) || off >= cfg.LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LineStart is idempotent, line-aligned, and never exceeds addr.
+func TestQuickLineStart(t *testing.T) {
+	cfg := Config{Size: 4096, LineSize: 64, Assoc: 2}
+	f := func(addr uint32) bool {
+		a := int64(addr)
+		ls := cfg.LineStart(a)
+		return ls%cfg.LineSize == 0 && ls <= a && a-ls < cfg.LineSize &&
+			cfg.LineStart(ls) == ls
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set indices stay within [0, NumSets).
+func TestQuickSetRange(t *testing.T) {
+	for _, cfg := range []Config{DM8K, DM32K, {Size: 2048, LineSize: 32, Assoc: 4}} {
+		cfg := cfg
+		f := func(addr uint32) bool {
+			s := cfg.SetOf(int64(addr))
+			return s >= 0 && s < cfg.NumSets()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

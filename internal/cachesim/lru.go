@@ -1,0 +1,39 @@
+package cachesim
+
+import "container/list"
+
+// fullyLRU is a fully-associative LRU cache over memory-line numbers, used
+// as the capacity oracle of the three-C miss classification: a replacement
+// miss that hits in a fully-associative cache of the same size is a
+// conflict miss; one that also misses there is a capacity miss.
+type fullyLRU struct {
+	capacity int
+	order    *list.List // front = MRU, values are int64 line numbers
+	index    map[int64]*list.Element
+}
+
+func newFullyLRU(capacity int) *fullyLRU {
+	return &fullyLRU{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[int64]*list.Element, capacity+1),
+	}
+}
+
+// access touches the line and reports whether it was resident.
+func (f *fullyLRU) access(line int64) bool {
+	if e, ok := f.index[line]; ok {
+		f.order.MoveToFront(e)
+		return true
+	}
+	f.index[line] = f.order.PushFront(line)
+	if f.order.Len() > f.capacity {
+		back := f.order.Back()
+		f.order.Remove(back)
+		delete(f.index, back.Value.(int64))
+	}
+	return false
+}
+
+// len returns the number of resident lines.
+func (f *fullyLRU) len() int { return f.order.Len() }

@@ -1,0 +1,59 @@
+package cachesim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFullyLRUBasics(t *testing.T) {
+	f := newFullyLRU(3)
+	for _, l := range []int64{1, 2, 3} {
+		if f.access(l) {
+			t.Fatalf("cold access to %d hit", l)
+		}
+	}
+	if f.len() != 3 {
+		t.Fatalf("len = %d", f.len())
+	}
+	if !f.access(1) { // 1 becomes MRU; order 1,3,2
+		t.Fatal("resident line missed")
+	}
+	f.access(4) // evicts LRU = 2
+	if f.access(2) {
+		t.Fatal("evicted line hit")
+	}
+	// That access re-inserted 2, evicting 3.
+	if f.access(3) {
+		t.Fatal("second-evicted line hit")
+	}
+	if f.len() != 3 {
+		t.Fatalf("len after churn = %d", f.len())
+	}
+}
+
+// TestFullyLRUAgainstNaive cross-checks the list+map implementation with a
+// slice-based reference model.
+func TestFullyLRUAgainstNaive(t *testing.T) {
+	const capLines = 8
+	f := newFullyLRU(capLines)
+	var naive []int64 // MRU first
+	r := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 50000; i++ {
+		line := r.Int64N(20)
+		wantHit := false
+		for j, l := range naive {
+			if l == line {
+				wantHit = true
+				naive = append(naive[:j], naive[j+1:]...)
+				break
+			}
+		}
+		naive = append([]int64{line}, naive...)
+		if len(naive) > capLines {
+			naive = naive[:capLines]
+		}
+		if got := f.access(line); got != wantHit {
+			t.Fatalf("access %d (line %d): got %v want %v", i, line, got, wantHit)
+		}
+	}
+}

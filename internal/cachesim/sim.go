@@ -1,0 +1,226 @@
+// Package cachesim is a trace-driven set-associative LRU cache simulator.
+// It provides exact per-access hit/miss outcomes, the compulsory vs
+// replacement miss split the paper's objective function is defined over
+// (§3.1: replacement misses = total − compulsory), and an optional
+// fully-associative shadow cache for the conflict/capacity split.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Outcome classifies one access.
+type Outcome int
+
+const (
+	// Hit: the line was resident.
+	Hit Outcome = iota
+	// CompulsoryMiss: the first access ever to the memory line.
+	CompulsoryMiss
+	// ReplacementMiss: the line had been resident before but was evicted
+	// (capacity or conflict miss).
+	ReplacementMiss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case CompulsoryMiss:
+		return "compulsory-miss"
+	case ReplacementMiss:
+		return "replacement-miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Compulsory  uint64
+	Replacement uint64
+	// Conflict and Capacity split Replacement when the simulator runs
+	// with a shadow cache; otherwise both stay zero.
+	Conflict uint64
+	Capacity uint64
+}
+
+// Misses returns the total miss count.
+func (s Stats) Misses() uint64 { return s.Compulsory + s.Replacement }
+
+// MissRatio returns total misses / accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// ReplacementRatio returns replacement misses / accesses — the quantity the
+// paper's figures plot and its GA minimises.
+func (s Stats) ReplacementRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Replacement) / float64(s.Accesses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d hits=%d compulsory=%d replacement=%d (miss ratio %.2f%%, repl ratio %.2f%%)",
+		s.Accesses, s.Hits, s.Compulsory, s.Replacement, 100*s.MissRatio(), 100*s.ReplacementRatio())
+}
+
+// Sim is a set-associative LRU cache simulator.
+type Sim struct {
+	cfg    cache.Config
+	sets   [][]int64 // per set: resident line numbers, MRU first
+	seen   map[int64]struct{}
+	shadow *fullyLRU // optional capacity oracle
+	stats  Stats
+}
+
+// New creates a simulator for the given geometry.
+func New(cfg cache.Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic("cachesim: " + err.Error())
+	}
+	return &Sim{
+		cfg:  cfg,
+		sets: make([][]int64, cfg.NumSets()),
+		seen: make(map[int64]struct{}),
+	}
+}
+
+// NewWithShadow creates a simulator that additionally classifies
+// replacement misses into conflict and capacity misses using a
+// fully-associative LRU cache of the same total size (the standard
+// three-C classification).
+func NewWithShadow(cfg cache.Config) *Sim {
+	s := New(cfg)
+	s.shadow = newFullyLRU(int(cfg.NumLines()))
+	return s
+}
+
+// Config returns the simulated geometry.
+func (s *Sim) Config() cache.Config { return s.cfg }
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Reset clears cache contents and statistics.
+func (s *Sim) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+	s.seen = make(map[int64]struct{})
+	if s.shadow != nil {
+		s.shadow = newFullyLRU(int(s.cfg.NumLines()))
+	}
+	s.stats = Stats{}
+}
+
+// Access simulates one access and returns its outcome.
+func (s *Sim) Access(addr int64) Outcome {
+	line := s.cfg.LineOf(addr)
+	set := s.cfg.SetOfLine(line)
+	ways := s.sets[set]
+	s.stats.Accesses++
+
+	shadowHit := false
+	if s.shadow != nil {
+		shadowHit = s.shadow.access(line)
+	}
+
+	for i, l := range ways {
+		if l == line {
+			// Hit: move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			s.stats.Hits++
+			return Hit
+		}
+	}
+	// Miss: insert at MRU, evicting LRU if the set is full.
+	if len(ways) < s.cfg.Assoc {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	s.sets[set] = ways
+
+	if _, ok := s.seen[line]; !ok {
+		s.seen[line] = struct{}{}
+		s.stats.Compulsory++
+		return CompulsoryMiss
+	}
+	s.stats.Replacement++
+	if s.shadow != nil {
+		if shadowHit {
+			s.stats.Conflict++
+		} else {
+			s.stats.Capacity++
+		}
+	}
+	return ReplacementMiss
+}
+
+// SimulateNest runs the full reference trace of a nest through a fresh
+// simulator and returns the statistics.
+func SimulateNest(n *ir.Nest, cfg cache.Config) Stats {
+	s := New(cfg)
+	trace.Generate(n, func(_ []int64, a trace.Access) bool {
+		s.Access(a.Addr)
+		return true
+	})
+	return s.Stats()
+}
+
+// SimulateNestShadow is SimulateNest with the conflict/capacity split.
+func SimulateNestShadow(n *ir.Nest, cfg cache.Config) Stats {
+	s := NewWithShadow(cfg)
+	trace.Generate(n, func(_ []int64, a trace.Access) bool {
+		s.Access(a.Addr)
+		return true
+	})
+	return s.Stats()
+}
+
+// RefStats holds per-body-reference statistics from one simulation.
+type RefStats struct {
+	Ref   string // rendered reference, e.g. "b(i,k)"
+	Write bool
+	Stats Stats
+}
+
+// SimulateNestByRef runs the full trace and returns both the aggregate and
+// a per-reference breakdown — the diagnostic view showing which access
+// pattern is responsible for the misses.
+func SimulateNestByRef(n *ir.Nest, cfg cache.Config) (Stats, []RefStats) {
+	s := New(cfg)
+	names := n.VarNames()
+	per := make([]RefStats, len(n.Refs))
+	for i := range n.Refs {
+		per[i].Ref = n.Refs[i].StringVars(names)
+		per[i].Write = n.Refs[i].Write
+	}
+	trace.Generate(n, func(_ []int64, a trace.Access) bool {
+		st := &per[a.RefIdx].Stats
+		st.Accesses++
+		switch s.Access(a.Addr) {
+		case Hit:
+			st.Hits++
+		case CompulsoryMiss:
+			st.Compulsory++
+		case ReplacementMiss:
+			st.Replacement++
+		}
+		return true
+	})
+	return s.Stats(), per
+}

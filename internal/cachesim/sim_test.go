@@ -1,0 +1,270 @@
+package cachesim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+func tiny(assoc int) cache.Config {
+	// 4 lines of 32B.
+	return cache.Config{Size: 128, LineSize: 32, Assoc: assoc}
+}
+
+func TestDirectMappedBasics(t *testing.T) {
+	s := New(tiny(1)) // 4 sets
+	if got := s.Access(0); got != CompulsoryMiss {
+		t.Fatalf("first access = %v", got)
+	}
+	if got := s.Access(8); got != Hit { // same line
+		t.Fatalf("same-line access = %v", got)
+	}
+	if got := s.Access(128); got != CompulsoryMiss { // conflicts with line 0 (set 0)
+		t.Fatalf("aliasing first access = %v", got)
+	}
+	if got := s.Access(0); got != ReplacementMiss { // evicted by 128
+		t.Fatalf("return access = %v", got)
+	}
+	st := s.Stats()
+	if st.Accesses != 4 || st.Hits != 1 || st.Compulsory != 2 || st.Replacement != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	s := New(tiny(2))                          // 2 sets, 2 ways; lines with even line# -> set 0
+	a, b, c := int64(0), int64(64), int64(128) // lines 0,2,4: all set 0
+	s.Access(a)                                // miss; set0: [a]
+	s.Access(b)                                // miss; set0: [b,a]
+	if got := s.Access(a); got != Hit {        // a still resident
+		t.Fatalf("a = %v", got)
+	}
+	s.Access(c) // evicts LRU=b; set0: [c,a]
+	if got := s.Access(a); got != Hit {
+		t.Fatalf("a after c = %v", got)
+	}
+	if got := s.Access(b); got != ReplacementMiss {
+		t.Fatalf("b after eviction = %v", got)
+	}
+}
+
+func TestFullyAssociativeNeverConflicts(t *testing.T) {
+	// 4-way fully associative of 4 lines: any 4 distinct lines coexist.
+	s := New(tiny(4))
+	for _, addr := range []int64{0, 128, 256, 384} {
+		if got := s.Access(addr); got != CompulsoryMiss {
+			t.Fatalf("access %d = %v", addr, got)
+		}
+	}
+	for _, addr := range []int64{0, 128, 256, 384} {
+		if got := s.Access(addr); got != Hit {
+			t.Fatalf("re-access %d = %v", addr, got)
+		}
+	}
+	// A 5th line evicts the LRU (line 0).
+	s.Access(512)
+	if got := s.Access(0); got != ReplacementMiss {
+		t.Fatalf("evicted line = %v", got)
+	}
+}
+
+func TestShadowConflictCapacitySplit(t *testing.T) {
+	// Direct-mapped 4 lines. Two aliasing lines ping-pong: conflict
+	// misses (fully-assoc cache would hold both).
+	s := NewWithShadow(tiny(1))
+	for i := 0; i < 10; i++ {
+		s.Access(0)
+		s.Access(128)
+	}
+	st := s.Stats()
+	if st.Conflict == 0 || st.Capacity != 0 {
+		t.Fatalf("ping-pong stats = %+v, want pure conflict misses", st)
+	}
+	if st.Conflict != st.Replacement {
+		t.Fatalf("conflict %d != replacement %d", st.Conflict, st.Replacement)
+	}
+
+	// Cycling over 8 distinct lines in a 4-line cache: capacity misses.
+	s2 := NewWithShadow(cache.Config{Size: 128, LineSize: 32, Assoc: 4})
+	for round := 0; round < 5; round++ {
+		for l := int64(0); l < 8; l++ {
+			s2.Access(l * 32)
+		}
+	}
+	st2 := s2.Stats()
+	if st2.Capacity == 0 || st2.Conflict != 0 {
+		t.Fatalf("cycling stats = %+v, want pure capacity misses", st2)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewWithShadow(tiny(1))
+	s.Access(0)
+	s.Access(128)
+	s.Reset()
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", s.Stats())
+	}
+	if got := s.Access(0); got != CompulsoryMiss {
+		t.Fatalf("after reset access = %v", got)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	st := Stats{Accesses: 200, Hits: 150, Compulsory: 20, Replacement: 30}
+	if st.Misses() != 50 {
+		t.Fatalf("Misses = %d", st.Misses())
+	}
+	if got := st.MissRatio(); got != 0.25 {
+		t.Fatalf("MissRatio = %v", got)
+	}
+	if got := st.ReplacementRatio(); got != 0.15 {
+		t.Fatalf("ReplacementRatio = %v", got)
+	}
+	if (Stats{}).MissRatio() != 0 || (Stats{}).ReplacementRatio() != 0 {
+		t.Fatal("zero-access ratios should be 0")
+	}
+}
+
+// TestSimulateNestTransposeShape: a 2D transpose of a 64x64 double array
+// (64KB of data) through an 8KB direct-mapped cache shows substantial
+// replacement misses; the same arrays through a huge cache show none.
+func TestSimulateNestTransposeShape(t *testing.T) {
+	n := int64(64)
+	a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8, Base: 0}
+	b := &ir.Array{Name: "b", Dims: []int64{n, n}, Elem: 8, Base: a.SizeBytes()}
+	nest := &ir.Nest{
+		Name: "t2d",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+			{Var: "j", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: b, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}},
+			{Array: a, Subs: []expr.Affine{expr.Var(1), expr.Var(0)}, Write: true},
+		},
+	}
+	if err := nest.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	small := SimulateNest(nest, cache.DM8K)
+	if small.Accesses != uint64(2*n*n) {
+		t.Fatalf("accesses = %d", small.Accesses)
+	}
+	if small.ReplacementRatio() < 0.10 {
+		t.Fatalf("transpose through 8KB cache: replacement ratio %.3f unexpectedly low",
+			small.ReplacementRatio())
+	}
+	big := SimulateNest(nest, cache.Config{Size: 1 << 20, LineSize: 32, Assoc: 1})
+	if big.Replacement != 0 {
+		t.Fatalf("1MB cache replacement misses = %d, want 0", big.Replacement)
+	}
+	// Compulsory misses are one per distinct line: 2 arrays * 64*64
+	// doubles / 4 per line = 2048.
+	if big.Compulsory != 2048 {
+		t.Fatalf("compulsory misses = %d, want 2048", big.Compulsory)
+	}
+	// Compulsory count is identical across cache sizes.
+	if small.Compulsory != big.Compulsory {
+		t.Fatalf("compulsory differs across caches: %d vs %d", small.Compulsory, big.Compulsory)
+	}
+}
+
+// Property: against a reference model (map per set with explicit recency
+// lists built naively), the simulator agrees on every access.
+func TestSimAgainstNaiveModel(t *testing.T) {
+	cfg := cache.Config{Size: 256, LineSize: 32, Assoc: 2} // 4 sets, 2 ways
+	s := New(cfg)
+	type naiveSet struct{ lines []int64 } // MRU first
+	naive := make([]naiveSet, cfg.NumSets())
+	seen := map[int64]bool{}
+	r := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 20000; i++ {
+		addr := r.Int64N(4096)
+		line := cfg.LineOf(addr)
+		set := cfg.SetOfLine(line)
+		ns := &naive[set]
+		want := ReplacementMiss
+		found := -1
+		for j, l := range ns.lines {
+			if l == line {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			want = Hit
+			ns.lines = append(ns.lines[:found], ns.lines[found+1:]...)
+		} else {
+			if !seen[line] {
+				want = CompulsoryMiss
+				seen[line] = true
+			}
+			if len(ns.lines) == cfg.Assoc {
+				ns.lines = ns.lines[:len(ns.lines)-1]
+			}
+		}
+		ns.lines = append([]int64{line}, ns.lines...)
+		if got := s.Access(addr); got != want {
+			t.Fatalf("access %d (addr %d): got %v, want %v", i, addr, got, want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Hit.String() != "hit" || CompulsoryMiss.String() != "compulsory-miss" ||
+		ReplacementMiss.String() != "replacement-miss" {
+		t.Fatal("Outcome strings wrong")
+	}
+	if Outcome(99).String() == "" {
+		t.Fatal("unknown outcome string empty")
+	}
+}
+
+// TestSimulateNestByRef: the per-reference breakdown sums to the aggregate
+// and attributes the transpose's misses to the strided reference.
+func TestSimulateNestByRef(t *testing.T) {
+	n := int64(64)
+	a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8, Base: 0}
+	b := &ir.Array{Name: "b", Dims: []int64{n, n}, Elem: 8, Base: a.SizeBytes()}
+	nest := &ir.Nest{
+		Name: "t2d",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+			{Var: "j", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: b, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}},
+			{Array: a, Subs: []expr.Affine{expr.Var(1), expr.Var(0)}, Write: true},
+		},
+	}
+	total, per := SimulateNestByRef(nest, cache.DM8K)
+	if len(per) != 2 {
+		t.Fatalf("per-ref count = %d", len(per))
+	}
+	var sum Stats
+	for _, r := range per {
+		sum.Accesses += r.Stats.Accesses
+		sum.Hits += r.Stats.Hits
+		sum.Compulsory += r.Stats.Compulsory
+		sum.Replacement += r.Stats.Replacement
+	}
+	if sum != total {
+		t.Fatalf("per-ref sum %+v != total %+v", sum, total)
+	}
+	if per[0].Ref != "b(i,j)" || per[1].Ref != "a(j,i)" || !per[1].Write {
+		t.Fatalf("labels wrong: %+v", per)
+	}
+	// b(i,j) strides a column per j step: it must carry the misses.
+	if per[0].Stats.Replacement <= per[1].Stats.Replacement {
+		t.Fatalf("expected b to dominate misses: b=%d a=%d",
+			per[0].Stats.Replacement, per[1].Stats.Replacement)
+	}
+	// The separate aggregate-only simulation agrees.
+	if agg := SimulateNest(nest, cache.DM8K); agg != total {
+		t.Fatalf("aggregate mismatch: %+v vs %+v", agg, total)
+	}
+}

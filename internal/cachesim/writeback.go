@@ -1,0 +1,119 @@
+package cachesim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Traffic summarises the memory traffic of a write-back, write-allocate
+// cache: fills (line reads from memory) and write-backs of dirty victims.
+// The paper counts misses only; traffic is the natural next metric a
+// downstream user asks for, and the dirty-bit machinery is standard.
+type Traffic struct {
+	Stats
+	// Fills counts lines read from memory (== misses under
+	// write-allocate).
+	Fills uint64
+	// Writebacks counts dirty lines written back on eviction (plus those
+	// still dirty at the end if FlushDirty was called).
+	Writebacks uint64
+}
+
+// BytesMoved returns the total memory traffic in bytes for the given line
+// size.
+func (t Traffic) BytesMoved(lineSize int64) uint64 {
+	return (t.Fills + t.Writebacks) * uint64(lineSize)
+}
+
+// WBSim is a write-back, write-allocate LRU simulator with per-line dirty
+// bits, layered on the same set structure as Sim.
+type WBSim struct {
+	cfg     cache.Config
+	sets    [][]wbLine
+	seen    map[int64]struct{}
+	traffic Traffic
+}
+
+type wbLine struct {
+	line  int64
+	dirty bool
+}
+
+// NewWB creates a write-back simulator.
+func NewWB(cfg cache.Config) *WBSim {
+	if err := cfg.Validate(); err != nil {
+		panic("cachesim: " + err.Error())
+	}
+	return &WBSim{
+		cfg:  cfg,
+		sets: make([][]wbLine, cfg.NumSets()),
+		seen: make(map[int64]struct{}),
+	}
+}
+
+// Access simulates one access (write=true marks the line dirty) and
+// returns its outcome.
+func (s *WBSim) Access(addr int64, write bool) Outcome {
+	line := s.cfg.LineOf(addr)
+	set := s.cfg.SetOfLine(line)
+	ways := s.sets[set]
+	s.traffic.Accesses++
+
+	for i := range ways {
+		if ways[i].line == line {
+			entry := ways[i]
+			entry.dirty = entry.dirty || write
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = entry
+			s.traffic.Hits++
+			return Hit
+		}
+	}
+	// Miss: write-allocate fill; evict (and possibly write back) the LRU.
+	s.traffic.Fills++
+	if len(ways) < s.cfg.Assoc {
+		ways = append(ways, wbLine{})
+	} else if ways[len(ways)-1].dirty {
+		s.traffic.Writebacks++
+	}
+	copy(ways[1:], ways)
+	ways[0] = wbLine{line: line, dirty: write}
+	s.sets[set] = ways
+
+	if _, ok := s.seen[line]; !ok {
+		s.seen[line] = struct{}{}
+		s.traffic.Compulsory++
+		return CompulsoryMiss
+	}
+	s.traffic.Replacement++
+	return ReplacementMiss
+}
+
+// FlushDirty writes back every dirty resident line (end-of-run flush) and
+// marks them clean.
+func (s *WBSim) FlushDirty() {
+	for si := range s.sets {
+		for i := range s.sets[si] {
+			if s.sets[si][i].dirty {
+				s.traffic.Writebacks++
+				s.sets[si][i].dirty = false
+			}
+		}
+	}
+}
+
+// Traffic returns the accumulated statistics.
+func (s *WBSim) Traffic() Traffic { return s.traffic }
+
+// SimulateNestTraffic runs the nest's trace through a write-back simulator
+// including the final dirty flush.
+func SimulateNestTraffic(n *ir.Nest, cfg cache.Config) Traffic {
+	s := NewWB(cfg)
+	trace.Generate(n, func(_ []int64, a trace.Access) bool {
+		s.Access(a.Addr, a.Write)
+		return true
+	})
+	s.FlushDirty()
+	return s.Traffic()
+}

@@ -1,0 +1,112 @@
+package cachesim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/tiling"
+)
+
+func TestWBBasics(t *testing.T) {
+	s := NewWB(tiny(1)) // 4 sets, direct-mapped
+	if got := s.Access(0, true); got != CompulsoryMiss {
+		t.Fatalf("first write = %v", got)
+	}
+	// Aliasing read evicts the dirty line: one writeback.
+	s.Access(128, false)
+	tr := s.Traffic()
+	if tr.Writebacks != 1 || tr.Fills != 2 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	// Clean eviction: no writeback.
+	s.Access(256, false)
+	if s.Traffic().Writebacks != 1 {
+		t.Fatalf("clean eviction wrote back: %+v", s.Traffic())
+	}
+	// Flush writes back the currently dirty lines (none: 256 is clean).
+	s.FlushDirty()
+	if s.Traffic().Writebacks != 1 {
+		t.Fatalf("flush of clean cache wrote back: %+v", s.Traffic())
+	}
+	// Dirty then flush.
+	s.Access(256, true)
+	s.FlushDirty()
+	if s.Traffic().Writebacks != 2 {
+		t.Fatalf("flush missed dirty line: %+v", s.Traffic())
+	}
+	if s.Traffic().BytesMoved(32) != (s.Traffic().Fills+2)*32 {
+		t.Fatal("BytesMoved wrong")
+	}
+}
+
+// TestWBHitMissEqualsSim: dirty bits change traffic, never hit/miss
+// behaviour — the write-back simulator's outcomes equal the plain one's.
+func TestWBHitMissEqualsSim(t *testing.T) {
+	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 2}
+	plain := New(cfg)
+	wb := NewWB(cfg)
+	r := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 30000; i++ {
+		addr := r.Int64N(8192)
+		write := r.Int64N(3) == 0
+		if got, want := wb.Access(addr, write), plain.Access(addr); got != want {
+			t.Fatalf("access %d: wb %v != plain %v", i, got, want)
+		}
+	}
+	if wb.Traffic().Stats != plain.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", wb.Traffic().Stats, plain.Stats())
+	}
+	if wb.Traffic().Fills != plain.Stats().Misses() {
+		t.Fatal("fills != misses under write-allocate")
+	}
+}
+
+// TestTilingReducesTraffic: tiling the transpose cuts memory traffic, not
+// just miss counts.
+func TestTilingReducesTraffic(t *testing.T) {
+	n := int64(64)
+	a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8, Base: 0}
+	b := &ir.Array{Name: "b", Dims: []int64{n, n}, Elem: 8, Base: a.SizeBytes()}
+	nest := &ir.Nest{
+		Name: "t2d",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+			{Var: "j", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: b, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}},
+			{Array: a, Subs: []expr.Affine{expr.Var(1), expr.Var(0)}, Write: true},
+		},
+	}
+	cfg := cache.Config{Size: 2048, LineSize: 32, Assoc: 1}
+	before := SimulateNestTraffic(nest, cfg)
+
+	// 4x4: small enough that the tile's b-columns (16 sets apart in this
+	// geometry) occupy distinct sets — 8x8 would self-interfere, which is
+	// exactly why tile sizes are searched rather than guessed.
+	tiledNest := tileT2D(t, nest, []int64{4, 4})
+	after := SimulateNestTraffic(tiledNest, cfg)
+	if after.BytesMoved(32) >= before.BytesMoved(32) {
+		t.Fatalf("tiling did not reduce traffic: %d -> %d bytes",
+			before.BytesMoved(32), after.BytesMoved(32))
+	}
+	// Every resident dirty line is flushed, so writebacks are at least
+	// the number of distinct lines of the written array.
+	minWB := uint64(n * n * 8 / 32)
+	if before.Writebacks < minWB || after.Writebacks < minWB {
+		t.Fatalf("writebacks below written footprint: %d/%d < %d",
+			before.Writebacks, after.Writebacks, minWB)
+	}
+}
+
+func tileT2D(t *testing.T, nest *ir.Nest, tile []int64) *ir.Nest {
+	t.Helper()
+	tiled, _, err := tiling.Apply(nest, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tiled
+}

@@ -1,0 +1,53 @@
+// Package cliutil holds the small argument parsers shared by the command
+// line tools: cache-geometry specs and tile vectors.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// ParseCache parses "8k", "32k" (the paper's two configurations) or a
+// generic "size:line:assoc" byte spec.
+func ParseCache(s string) (cache.Config, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "8k":
+		return cache.DM8K, nil
+	case "32k":
+		return cache.DM32K, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) == 3 {
+		size, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		line, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		assoc, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err1 == nil && err2 == nil && err3 == nil {
+			cfg := cache.Config{Size: size, LineSize: line, Assoc: assoc}
+			if err := cfg.Validate(); err != nil {
+				return cache.Config{}, err
+			}
+			return cfg, nil
+		}
+	}
+	return cache.Config{}, fmt.Errorf("bad cache %q (want 8k, 32k, or size:line:assoc)", s)
+}
+
+// ParseTile parses a comma-separated tile vector of the given rank.
+func ParseTile(s string, depth int) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != depth {
+		return nil, fmt.Errorf("tile %q has %d entries for a depth-%d nest", s, len(parts), depth)
+	}
+	tile := make([]int64, depth)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tile entry %q", p)
+		}
+		tile[i] = v
+	}
+	return tile, nil
+}

@@ -1,0 +1,44 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestParseCache(t *testing.T) {
+	if cfg, err := ParseCache("8k"); err != nil || cfg != cache.DM8K {
+		t.Fatalf("8k -> %v, %v", cfg, err)
+	}
+	if cfg, err := ParseCache(" 32K "); err != nil || cfg != cache.DM32K {
+		t.Fatalf("32K -> %v, %v", cfg, err)
+	}
+	cfg, err := ParseCache("16384:64:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Size != 16384 || cfg.LineSize != 64 || cfg.Assoc != 2 {
+		t.Fatalf("custom cache = %+v", cfg)
+	}
+	for _, bad := range []string{"", "9k", "1:2", "a:b:c", "100:32:1", "8192:32:0"} {
+		if _, err := ParseCache(bad); err == nil {
+			t.Errorf("ParseCache(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTile(t *testing.T) {
+	tile, err := ParseTile("8, 16,4", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile[0] != 8 || tile[1] != 16 || tile[2] != 4 {
+		t.Fatalf("tile = %v", tile)
+	}
+	if _, err := ParseTile("8,16", 3); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := ParseTile("8,x,4", 3); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}

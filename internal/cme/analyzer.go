@@ -1,0 +1,309 @@
+// Package cme implements Cache Miss Equations (Ghosh, Martonosi & Malik)
+// as used by the paper: an exact analytical model of cache behaviour for
+// perfectly nested affine loops.
+//
+// The package has two layers:
+//
+//   - The point solver (this file): the paper's "traversing the iteration
+//     space" solution method (§2.2–2.3). For one iteration point and one
+//     reference it decides hit / compulsory miss / replacement miss exactly
+//     for a k-way LRU cache, in expected O(assoc·sets/refs) time per point
+//     independent of problem size. Combined with simple random sampling
+//     (internal/sampling) this is the fast CME solver the paper builds.
+//
+//   - The symbolic equation generator (gen.go): the diophantine
+//     equalities/inequalities themselves — compulsory and replacement
+//     equations per reference × reuse vector × convex region (§2.1, §2.4) —
+//     materialised as polyhedra for inspection, reporting and the ×n / ×n²
+//     region-count accounting.
+//
+// The point solver is validated access-for-access against the trace-driven
+// simulator (internal/cachesim) in this package's tests.
+package cme
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+)
+
+// refInfo is the precomputed address function of one reference:
+// addr(v) = base + Σ coef[d]·v[d] over original loop variables, in bytes.
+// coefCoord is the same function re-expressed over the SPACE COORDINATES
+// (zero for tile coordinates), so the interference walk evaluates
+// addresses directly on space points without extracting original
+// variables.
+type refInfo struct {
+	base      int64
+	coef      []int64
+	coefCoord []int64
+	// inv[d] describes how to recover original variable values from array
+	// subscripts (see firstaccess.go).
+	inv []subInv
+}
+
+// subInv is the inversion info of one array subscript of the form
+// coef·v_var + cst (or a constant when var < 0).
+type subInv struct {
+	varIdx int // original variable index, -1 for constant subscripts
+	coef   int64
+	cst    int64
+}
+
+// Analyzer decides per-access cache outcomes for a loop nest traversed in
+// the order of a given iteration space. The nest's references must use
+// subscripts of the form c or ±a·v + c (single loop variable per
+// subscript), which covers every kernel in the paper's Table 1.
+//
+// An Analyzer is not safe for concurrent use; Clone one per goroutine.
+type Analyzer struct {
+	nest  *ir.Nest
+	space iterspace.Space
+	cfg   cache.Config
+
+	refs   []refInfo
+	arrays map[*ir.Array]*arrInfo
+
+	// Scratch buffers.
+	walkPoint []int64
+	conflicts []int64
+	pinned    []int64
+	minPoint  []int64
+	subsBuf   []int64
+	walkCap   uint64
+	capHits   uint64
+
+	// Walk-cost accounting: total backward-walk steps and classified
+	// accesses, for verifying the expected O(assoc·sets/refs) bound.
+	walkSteps  uint64
+	classified uint64
+}
+
+// DefaultWalkCap bounds the backward interference walk as a safety net; it
+// is high enough that no kernel in the suite reaches it with a resolvable
+// reuse, and the analyzer falls back to classifying the access as a
+// replacement miss when it trips (recorded in CapHits).
+const DefaultWalkCap = 1 << 22
+
+// NewAnalyzer builds an analyzer for nest traversed in space order under
+// the cache configuration cfg. The nest must be the ORIGINAL nest (its
+// references written over original loop variables); space supplies the
+// (possibly tiled) traversal order.
+func NewAnalyzer(nest *ir.Nest, space iterspace.Space, cfg cache.Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	if space.OrigDims() != nest.Depth() {
+		return nil, fmt.Errorf("cme: space has %d original dims, nest depth %d", space.OrigDims(), nest.Depth())
+	}
+	a := &Analyzer{
+		nest:      nest,
+		space:     space,
+		cfg:       cfg,
+		refs:      make([]refInfo, len(nest.Refs)),
+		walkPoint: make([]int64, space.NumCoords()),
+		conflicts: make([]int64, 0, cfg.Assoc),
+		pinned:    make([]int64, nest.Depth()),
+		minPoint:  make([]int64, space.NumCoords()),
+		walkCap:   DefaultWalkCap,
+	}
+	a.arrays = make(map[*ir.Array]*arrInfo)
+	origMap := space.OrigMap()
+	maxRank := 0
+	for i := range nest.Refs {
+		ri, err := buildRefInfo(&nest.Refs[i], nest.Depth())
+		if err != nil {
+			return nil, fmt.Errorf("cme: ref %d (%s): %w", i, nest.Refs[i].String(), err)
+		}
+		ri.coefCoord = make([]int64, space.NumCoords())
+		for c, d := range origMap {
+			if d >= 0 {
+				ri.coefCoord[c] = ri.coef[d]
+			}
+		}
+		a.refs[i] = ri
+		arr := nest.Refs[i].Array
+		if _, ok := a.arrays[arr]; !ok {
+			a.arrays[arr] = newArrInfo(arr)
+		}
+		if r := arr.Rank(); r > maxRank {
+			maxRank = r
+		}
+	}
+	a.subsBuf = make([]int64, maxRank)
+	return a, nil
+}
+
+// Clone returns an independent analyzer sharing the immutable nest/space.
+func (a *Analyzer) Clone() *Analyzer {
+	out := *a
+	out.walkPoint = make([]int64, len(a.walkPoint))
+	out.conflicts = make([]int64, 0, cap(a.conflicts))
+	out.pinned = make([]int64, len(a.pinned))
+	out.minPoint = make([]int64, len(a.minPoint))
+	out.subsBuf = make([]int64, len(a.subsBuf))
+	out.capHits = 0
+	return &out
+}
+
+// Space returns the traversal space.
+func (a *Analyzer) Space() iterspace.Space { return a.space }
+
+// Nest returns the analyzed nest.
+func (a *Analyzer) Nest() *ir.Nest { return a.nest }
+
+// Config returns the cache configuration.
+func (a *Analyzer) Config() cache.Config { return a.cfg }
+
+// CapHits reports how many classifications tripped the walk cap (0 in all
+// normal operation).
+func (a *Analyzer) CapHits() uint64 { return a.capHits }
+
+// WalkStats reports the cumulative backward-walk steps and the number of
+// classified accesses — the empirical cost of the point solver. The
+// expected steps per access is O(assoc · sets / references-per-iteration),
+// independent of problem size (checked in tests).
+func (a *Analyzer) WalkStats() (steps, accesses uint64) {
+	return a.walkSteps, a.classified
+}
+
+func buildRefInfo(r *ir.Ref, depth int) (refInfo, error) {
+	strides := r.Array.Strides()
+	info := refInfo{
+		base: r.Array.Base + r.Array.BasePad,
+		coef: make([]int64, depth),
+		inv:  make([]subInv, len(r.Subs)),
+	}
+	for d, sub := range r.Subs {
+		idx, coef, single := sub.SingleVar()
+		switch {
+		case sub.IsConst():
+			info.inv[d] = subInv{varIdx: -1, cst: sub.Const}
+		case single:
+			info.inv[d] = subInv{varIdx: idx, coef: coef, cst: sub.Const}
+		default:
+			return refInfo{}, fmt.Errorf("subscript %d is multi-variable (%s); not supported", d, sub)
+		}
+		info.base += (sub.Const - 1) * strides[d] * r.Array.Elem
+		for v := 0; v < depth; v++ {
+			info.coef[v] += sub.Coeff(v) * strides[d] * r.Array.Elem
+		}
+	}
+	return info, nil
+}
+
+// addrAt computes the byte address reference refIdx touches at the given
+// space point.
+func (a *Analyzer) addrAt(point []int64, refIdx int) int64 {
+	ri := &a.refs[refIdx]
+	addr := ri.base
+	for c, co := range ri.coefCoord {
+		if co != 0 {
+			addr += co * point[c]
+		}
+	}
+	return addr
+}
+
+// Classify decides the outcome of the access performed by reference refIdx
+// at space point p. It is exact for LRU caches of the configured geometry.
+func (a *Analyzer) Classify(p []int64, refIdx int) cachesim.Outcome {
+	a.classified++
+	addr := a.addrAt(p, refIdx)
+	line := a.cfg.LineOf(addr)
+	set := a.cfg.SetOfLine(line)
+
+	if a.isFirstAccess(p, refIdx, line) {
+		return cachesim.CompulsoryMiss
+	}
+
+	// Backward interference walk: scan accesses in reverse execution
+	// order until we meet the previous access to this line. The line is
+	// still resident iff fewer than `assoc` distinct other lines mapping
+	// to the same set were touched in between (the LRU stack property).
+	cur := a.walkPoint
+	copy(cur, p)
+	ref := refIdx
+	a.conflicts = a.conflicts[:0]
+	assoc := a.cfg.Assoc
+	var steps uint64
+	for {
+		ref--
+		if ref < 0 {
+			if !a.space.Prev(cur) {
+				// No earlier access to the line exists, contradicting the
+				// first-access test: unreachable by construction.
+				panic("cme: walked past the start of a non-compulsory access")
+			}
+			ref = len(a.refs) - 1
+		}
+		q := a.addrAt(cur, ref)
+		ql := a.cfg.LineOf(q)
+		if ql == line {
+			if len(a.conflicts) < assoc {
+				return cachesim.Hit
+			}
+			return cachesim.ReplacementMiss
+		}
+		if a.cfg.SetOfLine(ql) == set {
+			known := false
+			for _, c := range a.conflicts {
+				if c == ql {
+					known = true
+					break
+				}
+			}
+			if !known {
+				a.conflicts = append(a.conflicts, ql)
+				if len(a.conflicts) >= assoc {
+					return cachesim.ReplacementMiss
+				}
+			}
+		}
+		steps++
+		a.walkSteps++
+		if steps >= a.walkCap {
+			a.capHits++
+			return cachesim.ReplacementMiss
+		}
+	}
+}
+
+// ClassifyAll classifies every reference at point p, accumulating into st.
+func (a *Analyzer) ClassifyAll(p []int64, st *cachesim.Stats) {
+	for r := range a.refs {
+		st.Accesses++
+		switch a.Classify(p, r) {
+		case cachesim.Hit:
+			st.Hits++
+		case cachesim.CompulsoryMiss:
+			st.Compulsory++
+		case cachesim.ReplacementMiss:
+			st.Replacement++
+		}
+	}
+}
+
+// ExhaustiveStats classifies every access of the space (small spaces only)
+// and returns the aggregate statistics. This is the exact CME solution of
+// the whole iteration space.
+func (a *Analyzer) ExhaustiveStats() cachesim.Stats {
+	var st cachesim.Stats
+	p := make([]int64, a.space.NumCoords())
+	if !a.space.First(p) {
+		return st
+	}
+	for {
+		a.ClassifyAll(p, &st)
+		if !a.space.Next(p) {
+			break
+		}
+	}
+	return st
+}

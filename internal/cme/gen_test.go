@@ -1,0 +1,230 @@
+package cme
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	nest := mmNest(8)
+	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 1}
+	set, err := Generate(nest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumRegions != 1 {
+		t.Fatalf("untiled regions = %d", set.NumRegions)
+	}
+	if len(set.Vectors) == 0 {
+		t.Fatal("no reuse vectors")
+	}
+	// One replacement equation per (vector, interfering ref, region²).
+	if want := 2 * len(set.Vectors) * len(nest.Refs); len(set.Replacement) != want {
+		t.Fatalf("replacement equations = %d, want %d", len(set.Replacement), want)
+	}
+	// Compulsory: per vector, one piece per nonzero vector component plus
+	// one boundary equation for spatial vectors with nonzero delta.
+	if len(set.Compulsory) == 0 {
+		t.Fatal("no compulsory equations")
+	}
+	for _, eq := range set.Compulsory {
+		if eq.Kind != Compulsory || eq.Interferer != -1 || eq.RegionA != 0 {
+			t.Fatalf("malformed compulsory equation %+v", eq)
+		}
+	}
+	for _, eq := range set.Replacement {
+		if eq.Kind != Replacement || eq.Interferer < 0 {
+			t.Fatalf("malformed replacement equation %+v", eq)
+		}
+	}
+}
+
+// TestRegionScaling reproduces §2.4's accounting: with n convex regions,
+// compulsory equations multiply by n and replacement equations by n².
+func TestRegionScaling(t *testing.T) {
+	nest := mmNest(8)
+	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 1}
+	base, err := Generate(nest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile 8x8x8 with 3x8x3: dims 0 and 2 ragged -> 4 regions.
+	set, err := GenerateTiled(nest, cfg, []int64{3, 8, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumRegions != 4 {
+		t.Fatalf("regions = %d, want 4", set.NumRegions)
+	}
+	if want := 4 * len(base.Compulsory); len(set.Compulsory) != want {
+		t.Fatalf("tiled compulsory = %d, want %d (=4x%d)", len(set.Compulsory), want, len(base.Compulsory))
+	}
+	if want := 16 * len(base.Replacement); len(set.Replacement) != want {
+		t.Fatalf("tiled replacement = %d, want %d (=16x%d)", len(set.Replacement), want, len(base.Replacement))
+	}
+	// Even tiling (2,2,2 divides 8): single region, same counts as untiled.
+	even, err := GenerateTiled(nest, cfg, []int64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even.NumRegions != 1 {
+		t.Fatalf("even tiling regions = %d, want 1", even.NumRegions)
+	}
+	if len(even.Compulsory) != len(base.Compulsory) || len(even.Replacement) != len(base.Replacement) {
+		t.Fatal("even tiling changed equation counts")
+	}
+}
+
+// TestProvablyHitSound: on an untiled nest, every access the equations
+// prove to be a hit must be classified Hit by the exact point solver —
+// equivalently, every actual miss is a PotentialMiss of the equations.
+func TestProvablyHitSound(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		nest func() *iterspaceNest
+		cfg  cache.Config
+	}{
+		{"transpose", func() *iterspaceNest { return wrapNest(transposeNest(8)) }, cache.Config{Size: 256, LineSize: 32, Assoc: 1}},
+		{"mm", func() *iterspaceNest { return wrapNest(mmNest(6)) }, cache.Config{Size: 256, LineSize: 32, Assoc: 1}},
+		// The stencil's two arrays are 512B each; a 1KB cache avoids
+		// whole-array aliasing so that provable hits exist at all.
+		{"stencil", func() *iterspaceNest { return wrapNest(stencilNest(6)) }, cache.Config{Size: 1024, LineSize: 32, Assoc: 1}},
+	} {
+		w := mk.nest()
+		cfg := mk.cfg
+		set, err := Generate(w.nest, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := NewAnalyzer(w.nest, w.box, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]int64, w.box.NumCoords())
+		w.box.First(p)
+		checked, proved := 0, 0
+		for {
+			for r := range w.nest.Refs {
+				exact := an.Classify(p, r)
+				if set.ProvablyHit(p, r) {
+					proved++
+					if exact != cachesim.Hit {
+						t.Fatalf("%s: point %v ref %d: equations prove hit but solver says %v",
+							mk.name, p, r, exact)
+					}
+				}
+				checked++
+			}
+			if !w.box.Next(p) {
+				break
+			}
+		}
+		if proved == 0 {
+			t.Fatalf("%s: equations proved no hits at all over %d accesses (vacuous test)", mk.name, checked)
+		}
+		t.Logf("%s: %d/%d accesses proven hits by the symbolic layer", mk.name, proved, checked)
+	}
+}
+
+type iterspaceNest struct {
+	nest *ir.Nest
+	box  *iterspace.Box
+}
+
+func wrapNest(n *ir.Nest) *iterspaceNest {
+	lo := make([]int64, n.Depth())
+	hi := make([]int64, n.Depth())
+	for d, l := range n.Loops {
+		lo[d] = l.Lower.Eval(nil)
+		hi[d] = l.Upper.Eval(nil)
+	}
+	return &iterspaceNest{nest: n, box: iterspace.NewBox(lo, hi)}
+}
+
+func TestEquationString(t *testing.T) {
+	nest := transposeNest(4)
+	set, err := Generate(nest, cache.Config{Size: 256, LineSize: 32, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Compulsory) == 0 || len(set.Replacement) == 0 {
+		t.Fatal("missing equations")
+	}
+	if s := set.Compulsory[0].String(); !strings.Contains(s, "compulsory") {
+		t.Fatalf("compulsory String = %q", s)
+	}
+	if s := set.Replacement[0].String(); !strings.Contains(s, "replacement") {
+		t.Fatalf("replacement String = %q", s)
+	}
+	if Compulsory.String() != "compulsory" || Replacement.String() != "replacement" {
+		t.Fatal("EquationKind strings")
+	}
+}
+
+func TestGenerateRejectsNonRectangular(t *testing.T) {
+	nest := transposeNest(4)
+	nest.Loops[0].Step = 2
+	if _, err := Generate(nest, cache.DM8K); err == nil {
+		t.Fatal("non-rectangular nest accepted")
+	}
+}
+
+// TestCountPotentialMissesUpperBounds: the §2.2 "Solver" method's counts
+// are valid upper bounds on the exact per-reference miss counts, and not
+// vacuous (strictly below the access count where hits are provable).
+func TestCountPotentialMissesUpperBounds(t *testing.T) {
+	w := wrapNest(transposeNest(8))
+	cfg := cache.Config{Size: 256, LineSize: 32, Assoc: 1}
+	set, err := Generate(w.nest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := set.CountPotentialMisses(w.box, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyzer(w.nest, w.box, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([]uint64, len(w.nest.Refs))
+	total := w.box.Count()
+	p := make([]int64, 2)
+	w.box.First(p)
+	for {
+		for r := range w.nest.Refs {
+			if an.Classify(p, r) != cachesim.Hit {
+				exact[r]++
+			}
+		}
+		if !w.box.Next(p) {
+			break
+		}
+	}
+	for r := range counts {
+		if counts[r] < exact[r] {
+			t.Fatalf("ref %d: potential %d < exact %d (unsound)", r, counts[r], exact[r])
+		}
+		if counts[r] > total {
+			t.Fatalf("ref %d: potential %d > points %d", r, counts[r], total)
+		}
+	}
+	// At least one reference must have a non-vacuous bound.
+	nonVacuous := false
+	for r := range counts {
+		if counts[r] < total {
+			nonVacuous = true
+		}
+	}
+	if !nonVacuous {
+		t.Fatal("all bounds vacuous")
+	}
+	if _, err := set.CountPotentialMisses(w.box, 3); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}

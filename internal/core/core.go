@@ -1,0 +1,648 @@
+// Package core is the paper's primary contribution: near-optimal loop
+// tiling (and padding) driven by Cache Miss Equations and a genetic
+// algorithm.
+//
+// The objective function f(T₁..Tk) of §3.1 — the number of replacement
+// misses of the tiled nest — is evaluated with the fast CME solver
+// (internal/cme) over a fixed simple-random sample of iteration points
+// (internal/sampling). The genetic algorithm (internal/ga) searches the
+// tile-size space [1,U₁]×…×[1,Uk]; the same machinery searches padding
+// parameters for the kernels whose residual misses are conflicts (§4.3),
+// sequentially (pad then tile, as in Table 3) or jointly in one genome
+// (the paper's stated future work).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/cme"
+	"repro/internal/ga"
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+	"repro/internal/padding"
+	"repro/internal/sampling"
+	"repro/internal/tiling"
+)
+
+// Options configures a search.
+type Options struct {
+	// Cache is the target cache geometry.
+	Cache cache.Config
+	// SamplePoints is the number of iteration points per objective
+	// evaluation; 0 means the paper's 164 (width 0.1, 90% confidence).
+	SamplePoints int
+	// Confidence for reported intervals; 0 means 0.90.
+	Confidence float64
+	// GA holds the genetic-algorithm parameters; the zero value means the
+	// paper's configuration (population 30, pc 0.9, pm 0.001, 15–25
+	// generations).
+	GA ga.Config
+	// Seed makes the whole search deterministic.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SamplePoints == 0 {
+		o.SamplePoints = sampling.PaperSampleSize
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.90
+	}
+	if o.GA.PopSize == 0 {
+		seed := o.Seed
+		o.GA = ga.PaperConfig(seed)
+	}
+	return o
+}
+
+// evaluator owns the fixed sample shared by every candidate of one search
+// (common random numbers: the fitness is deterministic and comparisons are
+// low-variance).
+type evaluator struct {
+	nest   *ir.Nest
+	box    *iterspace.Box
+	cfg    cache.Config
+	sample *sampling.Sample
+	conf   float64
+}
+
+func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, opt.Seed^0xda3e39cb94b95bdb))
+	return &evaluator{
+		nest:   nest,
+		box:    box,
+		cfg:    opt.Cache,
+		sample: sampling.Draw(box, opt.SamplePoints, rng),
+		conf:   opt.Confidence,
+	}, nil
+}
+
+// evalWorkers bounds the fan-out of one objective evaluation. Parallel
+// evaluation sums the same per-point outcomes, so results are identical to
+// serial evaluation and searches stay deterministic.
+var evalWorkers = min(8, runtime.NumCPU())
+
+// tiled evaluates a tile vector over (a possibly padded copy of) the nest.
+func (e *evaluator) tiled(nest *ir.Nest, tile []int64) (cachesim.Stats, error) {
+	space := iterspace.NewTiled(e.box, tile)
+	an, err := cme.NewAnalyzer(nest, space, e.cfg)
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	return e.sample.EvaluateParallel(an, evalWorkers), nil
+}
+
+// untiled evaluates the nest in original order.
+func (e *evaluator) untiled(nest *ir.Nest) (cachesim.Stats, error) {
+	an, err := cme.NewAnalyzer(nest, e.box, e.cfg)
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	return e.sample.EvaluateParallel(an, evalWorkers), nil
+}
+
+func (e *evaluator) estimate(st cachesim.Stats) sampling.Estimate {
+	return sampling.FromStats(st, len(e.sample.Points), e.conf)
+}
+
+// TilingResult reports a tile-size search.
+type TilingResult struct {
+	// Tile is the best tile vector found.
+	Tile []int64
+	// Before and After are the sampled estimates for the original and
+	// tiled nest (After uses the same sample: ratios are comparable).
+	Before, After sampling.Estimate
+	// TiledNest is the transformed loop nest (Figure 3(b) form).
+	TiledNest *ir.Nest
+	// Space is the tiled iteration space.
+	Space *iterspace.Tiled
+	// GA is the raw search trace.
+	GA ga.Result
+}
+
+// OptimizeTiling runs the paper's tile-size search on a rectangular nest.
+func OptimizeTiling(nest *ir.Nest, opt Options) (*TilingResult, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	uppers := make([]int64, nest.Depth())
+	for d := range uppers {
+		uppers[d] = ev.box.Extent(d)
+	}
+	spec := ga.NewTileSpec(uppers)
+	gaCfg := withMutationFloor(opt.GA, spec)
+	if len(gaCfg.SeedValues) == 0 {
+		gaCfg.SeedValues = tileSeeds(nest, ev.box, opt.Cache)
+	}
+	var evalErr error
+	obj := func(v []int64) float64 {
+		st, err := ev.tiled(nest, tileFromGenome(ev.box, v))
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return float64(st.Replacement)
+	}
+	res, err := ga.Run(spec, obj, gaCfg)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	best := tileFromGenome(ev.box, res.Best)
+	tiledNest, space, err := tiling.Apply(nest, best)
+	if err != nil {
+		return nil, err
+	}
+	beforeStats, err := ev.untiled(nest)
+	if err != nil {
+		return nil, err
+	}
+	afterStats, err := ev.tiled(nest, best)
+	if err != nil {
+		return nil, err
+	}
+	return &TilingResult{
+		Tile:      best,
+		Before:    ev.estimate(beforeStats),
+		After:     ev.estimate(afterStats),
+		TiledNest: tiledNest,
+		Space:     space,
+		GA:        res,
+	}, nil
+}
+
+// withMutationFloor raises the per-bit mutation probability to 1/(2L) for
+// an L-bit genome when the caller's rate is lower. The paper's pm = 0.001
+// yields well under one expected flip per individual on the 24–40 bit
+// genomes of the larger kernels, and the population homogenises before
+// finding good tiles (premature convergence); half a flip per individual
+// restores steady exploration. A measured side effect, documented in
+// EXPERIMENTS.md: the §3.3 homogeneity criterion then rarely fires on
+// tiling-responsive kernels, so searches usually run the full 25
+// generations of the Figure-7 schedule (it still fires on the flat
+// conflict-bound landscapes).
+func withMutationFloor(cfg ga.Config, spec ga.Spec) ga.Config {
+	if pm := 1.0 / (2 * float64(spec.TotalBits())); cfg.MutationProb < pm {
+		cfg.MutationProb = pm
+	}
+	return cfg
+}
+
+// tileSeeds returns the heuristic individuals injected into the GA's
+// initial population: the square-root capacity heuristic, the untiled
+// configuration (full extents) and unit tiles. On 2000-sized loops a
+// uniform random population has essentially no mass on cache-fitting
+// tiles; without a foothold there, selection can converge inside the flat
+// "as bad as untiled" basin. Seeding known configurations is standard GA
+// practice and keeps 27 of 30 individuals random.
+func tileSeeds(nest *ir.Nest, box *iterspace.Box, cfg cache.Config) [][]int64 {
+	k := nest.Depth()
+	untiled := make([]int64, k)
+	ones := make([]int64, k)
+	sqrtT := make([]int64, k)
+	arrays := len(nest.Arrays())
+	if arrays == 0 {
+		arrays = 1
+	}
+	elem := nest.Refs[0].Array.Elem
+	budget := float64(cfg.Size) / float64(int64(arrays)*elem)
+	t := int64(math.Pow(budget, 1/float64(k)))
+	if t < 1 {
+		t = 1
+	}
+	for d := 0; d < k; d++ {
+		untiled[d] = box.Extent(d)
+		ones[d] = 1
+		sqrtT[d] = t
+		if e := box.Extent(d); sqrtT[d] > e {
+			sqrtT[d] = e
+		}
+	}
+	return [][]int64{sqrtT, untiled, ones}
+}
+
+// tileFromGenome clamps decoded genome values into valid tile sizes. The
+// genome ranges over [1, extent] already; the clamp guards the Lo offset of
+// boxes that do not start at 1.
+func tileFromGenome(box *iterspace.Box, v []int64) []int64 {
+	tile := make([]int64, len(v))
+	for d := range v {
+		t := v[d]
+		if t < 1 {
+			t = 1
+		}
+		if e := box.Extent(d); t > e {
+			t = e
+		}
+		tile[d] = t
+	}
+	return tile
+}
+
+// OrderedTilingResult reports a joint tile-size + tile-loop-order search.
+type OrderedTilingResult struct {
+	Tile          []int64
+	Order         []int // Order[p] = original loop at tile position p
+	Before, After sampling.Estimate
+	TiledNest     *ir.Nest
+	GA            ga.Result
+}
+
+// OptimizeTilingOrder extends the paper's search with the interchange half
+// of "tiling = strip-mining + interchange": the genome carries the tile
+// sizes plus a Lehmer-coded permutation of the tile loops, so the GA
+// chooses which tile loop runs outermost. For some kernels (e.g. when the
+// reuse-carrying loop should be the innermost tile loop) this beats every
+// fixed-order tiling.
+func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := nest.Depth()
+	uppers := make([]int64, k)
+	for d := range uppers {
+		uppers[d] = ev.box.Extent(d)
+	}
+	tileSpec := ga.NewTileSpec(uppers)
+	// Lehmer code: digit p chooses among the k-p remaining dimensions.
+	chroms := append([]ga.Chromosome(nil), tileSpec.Chroms...)
+	for p := 0; p < k-1; p++ {
+		chroms = append(chroms, ga.NewChromosome(0, int64(k-p)))
+	}
+	spec := ga.Spec{Chroms: chroms}
+	gaCfg := withMutationFloor(opt.GA, spec)
+	if len(gaCfg.SeedValues) == 0 {
+		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
+			seed := make([]int64, len(chroms))
+			copy(seed, tile)
+			gaCfg.SeedValues = append(gaCfg.SeedValues, seed) // identity order
+		}
+	}
+	decode := func(v []int64) ([]int64, []int) {
+		return tileFromGenome(ev.box, v[:k]), lehmerToPerm(v[k:], k)
+	}
+	var evalErr error
+	obj := func(v []int64) float64 {
+		tile, order := decode(v)
+		space := iterspace.NewPermutedTiled(ev.box, tile, order)
+		an, err := cme.NewAnalyzer(nest, space, ev.cfg)
+		if err != nil {
+			if evalErr == nil {
+				evalErr = err
+			}
+			return 0
+		}
+		return float64(ev.sample.Evaluate(an).Replacement)
+	}
+	res, err := ga.Run(spec, obj, gaCfg)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	tile, order := decode(res.Best)
+	tiledNest, space, err := tiling.ApplyPermuted(nest, tile, order)
+	if err != nil {
+		return nil, err
+	}
+	an, err := cme.NewAnalyzer(nest, space, ev.cfg)
+	if err != nil {
+		return nil, err
+	}
+	afterStats := ev.sample.Evaluate(an)
+	beforeStats, err := ev.untiled(nest)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderedTilingResult{
+		Tile:      tile,
+		Order:     order,
+		Before:    ev.estimate(beforeStats),
+		After:     ev.estimate(afterStats),
+		TiledNest: tiledNest,
+		GA:        res,
+	}, nil
+}
+
+// lehmerToPerm decodes a Lehmer code (digit p in [0, k-p)) into a
+// permutation of 0..k-1; out-of-range digits wrap, so every genome is
+// valid.
+func lehmerToPerm(code []int64, k int) []int {
+	avail := make([]int, k)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, 0, k)
+	for p := 0; p < k; p++ {
+		var idx int64
+		if p < len(code) {
+			idx = code[p] % int64(len(avail))
+			if idx < 0 {
+				idx += int64(len(avail))
+			}
+		}
+		perm = append(perm, avail[idx])
+		avail = append(avail[:idx], avail[idx+1:]...)
+	}
+	return perm
+}
+
+// TileObjective exposes the §3.1 objective function f(T₁..Tk) — the
+// sampled replacement-miss count of the nest tiled with T — together with
+// the iteration box bounding the search space. It lets alternative
+// optimizers (simulated annealing, random search; see internal/search) be
+// compared against the GA on the identical deterministic objective.
+func TileObjective(nest *ir.Nest, opt Options) (func(tile []int64) float64, *iterspace.Box, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := func(tile []int64) float64 {
+		st, err := ev.tiled(nest, tileFromGenome(ev.box, tile))
+		if err != nil {
+			return float64(st.Accesses + 1) // poison invalid candidates
+		}
+		return float64(st.Replacement)
+	}
+	return f, ev.box, nil
+}
+
+// PaddingResult reports a padding search.
+type PaddingResult struct {
+	Plan          padding.Plan
+	Before, After sampling.Estimate
+	PaddedNest    *ir.Nest
+	GA            ga.Result
+}
+
+// OptimizePadding searches inter- and intra-array padding with the GA,
+// leaving the loop order untouched (Table 3's "Padding" column).
+func OptimizePadding(nest *ir.Nest, opt Options) (*PaddingResult, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	spec, decodePlan := paddingSpec(nest, opt.Cache)
+	gaCfg := withMutationFloor(opt.GA, spec)
+	if len(gaCfg.SeedValues) == 0 {
+		// Seed the identity plan: padding should never end worse than
+		// doing nothing.
+		gaCfg.SeedValues = [][]int64{make([]int64, len(spec.Chroms))}
+	}
+	var evalErr error
+	obj := func(v []int64) float64 {
+		padded, err := padding.Apply(nest, decodePlan(v))
+		if err != nil {
+			if evalErr == nil {
+				evalErr = err
+			}
+			return 0
+		}
+		st, err := ev.untiled(padded)
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return float64(st.Replacement)
+	}
+	res, err := ga.Run(spec, obj, gaCfg)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	plan := decodePlan(res.Best)
+	padded, err := padding.Apply(nest, plan)
+	if err != nil {
+		return nil, err
+	}
+	beforeStats, err := ev.untiled(nest)
+	if err != nil {
+		return nil, err
+	}
+	afterStats, err := ev.untiled(padded)
+	if err != nil {
+		return nil, err
+	}
+	return &PaddingResult{
+		Plan:       plan,
+		Before:     ev.estimate(beforeStats),
+		After:      ev.estimate(afterStats),
+		PaddedNest: padded,
+		GA:         res,
+	}, nil
+}
+
+// paddingSpec builds the GA genome for padding parameters: one chromosome
+// per array for the inter pad in line-size units and one for the intra pad
+// in elements.
+func paddingSpec(nest *ir.Nest, cfg cache.Config) (ga.Spec, func([]int64) padding.Plan) {
+	arrays := nest.Arrays()
+	var chroms []ga.Chromosome
+	for _, a := range arrays {
+		// Inter-array padding in cache lines: [0, sets-1] lines reaches
+		// every relative set alignment.
+		chroms = append(chroms, ga.NewChromosome(0, cfg.NumSets()))
+		// Intra-array padding in elements: up to 8 lines' worth.
+		chroms = append(chroms, ga.NewChromosome(0, 8*cfg.LineSize/a.Elem+1))
+	}
+	spec := ga.Spec{Chroms: chroms}
+	decode := func(v []int64) padding.Plan {
+		plan := padding.Plan{
+			Inter: make([]int64, len(arrays)),
+			Intra: make([]int64, len(arrays)),
+		}
+		for i, a := range arrays {
+			plan.Inter[i] = v[2*i] * (cfg.LineSize / a.Elem) // lines → elements
+			plan.Intra[i] = v[2*i+1]
+		}
+		return plan
+	}
+	return spec, decode
+}
+
+// CombinedResult reports padding followed by tiling (Table 3's
+// "Padding + tiling" column) or the joint single-genome search.
+type CombinedResult struct {
+	Plan                       padding.Plan
+	Tile                       []int64
+	Original, Padded, Combined sampling.Estimate
+	GA                         ga.Result
+}
+
+// OptimizePaddingThenTiling applies the two searches sequentially, exactly
+// as the paper's Table 3: first find padding that minimises replacement
+// misses of the untiled nest, then search tile sizes over the padded nest.
+func OptimizePaddingThenTiling(nest *ir.Nest, opt Options) (*CombinedResult, error) {
+	opt = opt.withDefaults()
+	padRes, err := OptimizePadding(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Independent GA randomness for phase two, preserving any caller
+	// overrides of the GA parameters.
+	tileOpt := opt
+	tileOpt.Seed ^= 0x5bf03635
+	tileOpt.GA.Seed1 ^= 0x5bf03635
+	tileOpt.GA.Seed2 ^= 0x9e3779b9
+	tileRes, err := OptimizeTiling(padRes.PaddedNest, tileOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &CombinedResult{
+		Plan:     padRes.Plan,
+		Tile:     tileRes.Tile,
+		Original: padRes.Before,
+		Padded:   padRes.After,
+		Combined: tileRes.After,
+		GA:       tileRes.GA,
+	}, nil
+}
+
+// OptimizeJoint searches padding and tile sizes in a single genome — the
+// single-step combination the paper leaves as future work (§4.3), which
+// can beat the sequential composition when the best padding for the
+// untiled order is not the best padding under tiling.
+func OptimizeJoint(nest *ir.Nest, opt Options) (*CombinedResult, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	padSpec, decodePlan := paddingSpec(nest, opt.Cache)
+	uppers := make([]int64, nest.Depth())
+	for d := range uppers {
+		uppers[d] = ev.box.Extent(d)
+	}
+	tileSpec := ga.NewTileSpec(uppers)
+	joint := ga.Spec{Chroms: append(append([]ga.Chromosome(nil), padSpec.Chroms...), tileSpec.Chroms...)}
+	nPad := len(padSpec.Chroms)
+	opt.GA = withMutationFloor(opt.GA, joint)
+	if len(opt.GA.SeedValues) == 0 {
+		// Seed zero-padding combined with each tile heuristic.
+		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
+			seed := make([]int64, nPad+len(tile))
+			copy(seed[nPad:], tile)
+			opt.GA.SeedValues = append(opt.GA.SeedValues, seed)
+		}
+	}
+
+	var evalErr error
+	obj := func(v []int64) float64 {
+		padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
+		if err != nil {
+			if evalErr == nil {
+				evalErr = err
+			}
+			return 0
+		}
+		st, err := ev.tiled(padded, tileFromGenome(ev.box, v[nPad:]))
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return float64(st.Replacement)
+	}
+	res, err := ga.Run(joint, obj, opt.GA)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	plan := decodePlan(res.Best[:nPad])
+	tile := tileFromGenome(ev.box, res.Best[nPad:])
+	padded, err := padding.Apply(nest, plan)
+	if err != nil {
+		return nil, err
+	}
+	origStats, err := ev.untiled(nest)
+	if err != nil {
+		return nil, err
+	}
+	padStats, err := ev.untiled(padded)
+	if err != nil {
+		return nil, err
+	}
+	combStats, err := ev.tiled(padded, tile)
+	if err != nil {
+		return nil, err
+	}
+	return &CombinedResult{
+		Plan:     plan,
+		Tile:     tile,
+		Original: ev.estimate(origStats),
+		Padded:   ev.estimate(padStats),
+		Combined: ev.estimate(combStats),
+		GA:       res,
+	}, nil
+}
+
+// ExhaustiveTiling enumerates every tile vector (the optimality reference
+// the paper compares against) and returns the best under the same sampled
+// objective. It refuses search spaces larger than limit candidates.
+func ExhaustiveTiling(nest *ir.Nest, opt Options, limit uint64) ([]int64, cachesim.Stats, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, cachesim.Stats{}, err
+	}
+	k := nest.Depth()
+	total := uint64(1)
+	for d := 0; d < k; d++ {
+		total *= uint64(ev.box.Extent(d))
+		if total > limit {
+			return nil, cachesim.Stats{}, fmt.Errorf("core: %d tile vectors exceed limit %d", total, limit)
+		}
+	}
+	tile := make([]int64, k)
+	for d := range tile {
+		tile[d] = 1
+	}
+	var best []int64
+	var bestStats cachesim.Stats
+	bestMisses := uint64(1<<63 - 1)
+	for {
+		st, err := ev.tiled(nest, tile)
+		if err != nil {
+			return nil, cachesim.Stats{}, err
+		}
+		if st.Replacement < bestMisses {
+			bestMisses = st.Replacement
+			bestStats = st
+			best = append([]int64(nil), tile...)
+		}
+		d := k - 1
+		for ; d >= 0; d-- {
+			if tile[d] < ev.box.Extent(d) {
+				tile[d]++
+				break
+			}
+			tile[d] = 1
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return best, bestStats, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cme"
+	"repro/internal/ga"
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+	"repro/internal/sampling"
+	"repro/internal/tiling"
+)
+
+// Level couples one cache level with the relative penalty of missing in it
+// (e.g. L1 miss ≈ 10 cycles, L2 miss ≈ 100 cycles). Levels are analysed
+// independently — the CME model treats each level as its own cache, the
+// standard simplification for multi-level analytical models.
+type Level struct {
+	Cache cache.Config
+	// MissPenalty weights this level's replacement misses in the cost.
+	MissPenalty float64
+}
+
+// LevelEstimate pairs a level with its sampled estimates.
+type LevelEstimate struct {
+	Level         Level
+	Before, After sampling.Estimate
+}
+
+// MultiLevelResult reports a multi-level tile search.
+type MultiLevelResult struct {
+	Tile      []int64
+	Levels    []LevelEstimate
+	TiledNest *ir.Nest
+	GA        ga.Result
+	// CostBefore/CostAfter are the weighted replacement-miss costs per
+	// sampled access.
+	CostBefore, CostAfter float64
+}
+
+// OptimizeTilingMultiLevel extends the single-cache search to a cache
+// hierarchy: the objective is the penalty-weighted sum of replacement
+// misses across levels, so the GA trades L1 residency against L2
+// residency instead of optimising one level blindly.
+func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: no cache levels")
+	}
+	for _, l := range levels {
+		if err := l.Cache.Validate(); err != nil {
+			return nil, err
+		}
+		if l.MissPenalty <= 0 {
+			return nil, fmt.Errorf("core: non-positive miss penalty %v", l.MissPenalty)
+		}
+	}
+	opt = opt.withDefaults()
+	opt.Cache = levels[0].Cache // evaluator's cfg is unused per-level below
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return nil, err
+	}
+	uppers := make([]int64, nest.Depth())
+	for d := range uppers {
+		uppers[d] = ev.box.Extent(d)
+	}
+	spec := ga.NewTileSpec(uppers)
+	gaCfg := withMutationFloor(opt.GA, spec)
+	if len(gaCfg.SeedValues) == 0 {
+		gaCfg.SeedValues = tileSeeds(nest, ev.box, levels[0].Cache)
+	}
+
+	cost := func(tile []int64) (float64, error) {
+		space := iterspace.NewTiled(ev.box, tile)
+		var c float64
+		for _, l := range levels {
+			an, err := cme.NewAnalyzer(nest, space, l.Cache)
+			if err != nil {
+				return 0, err
+			}
+			c += l.MissPenalty * float64(ev.sample.Evaluate(an).Replacement)
+		}
+		return c, nil
+	}
+	var evalErr error
+	obj := func(v []int64) float64 {
+		c, err := cost(tileFromGenome(ev.box, v))
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return c
+	}
+	res, err := ga.Run(spec, obj, gaCfg)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	best := tileFromGenome(ev.box, res.Best)
+	tiledNest, space, err := tiling.Apply(nest, best)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiLevelResult{Tile: best, TiledNest: tiledNest, GA: res}
+	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
+	for _, l := range levels {
+		anU, err := cme.NewAnalyzer(nest, ev.box, l.Cache)
+		if err != nil {
+			return nil, err
+		}
+		anT, err := cme.NewAnalyzer(nest, space, l.Cache)
+		if err != nil {
+			return nil, err
+		}
+		before := ev.sample.Evaluate(anU)
+		after := ev.sample.Evaluate(anT)
+		out.Levels = append(out.Levels, LevelEstimate{
+			Level:  l,
+			Before: ev.estimate(before),
+			After:  ev.estimate(after),
+		})
+		out.CostBefore += l.MissPenalty * float64(before.Replacement) / accesses
+		out.CostAfter += l.MissPenalty * float64(after.Replacement) / accesses
+	}
+	return out, nil
+}
+
+// BestInterchange evaluates every loop order of the nest under the shared
+// sampled objective WITHOUT tiling and returns the best replacement ratio
+// and its order. Factorial in depth; the paper's kernels are ≤4 deep.
+func BestInterchange(nest *ir.Nest, opt Options) (float64, []int, error) {
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	k := nest.Depth()
+	best := 2.0
+	var bestOrder []int
+	var rec func(avail []int, cur []int) error
+	rec = func(avail []int, cur []int) error {
+		if len(avail) == 0 {
+			space := iterspace.NewPermutedBox(ev.box, cur)
+			an, err := cme.NewAnalyzer(nest, space, ev.cfg)
+			if err != nil {
+				return err
+			}
+			ratio := ev.sample.Evaluate(an).ReplacementRatio()
+			if ratio < best {
+				best = ratio
+				bestOrder = append([]int(nil), cur...)
+			}
+			return nil
+		}
+		for i := range avail {
+			next := make([]int, 0, len(avail)-1)
+			next = append(next, avail[:i]...)
+			next = append(next, avail[i+1:]...)
+			if err := rec(next, append(cur, avail[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+	if err := rec(all, make([]int, 0, k)); err != nil {
+		return 0, nil, err
+	}
+	return best, bestOrder, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestOptimizeTilingMultiLevel(t *testing.T) {
+	nest := transpose(96) // 2 × 72KB arrays
+	levels := []Level{
+		{Cache: cache.Config{Size: 2048, LineSize: 32, Assoc: 1}, MissPenalty: 10},
+		{Cache: cache.Config{Size: 16 * 1024, LineSize: 32, Assoc: 1}, MissPenalty: 100},
+	}
+	res, err := OptimizeTilingMultiLevel(nest, levels, Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("cost did not improve: %.3f -> %.3f", res.CostBefore, res.CostAfter)
+	}
+	// The chosen tile must help BOTH levels substantially — the point of
+	// the weighted objective.
+	for _, l := range res.Levels {
+		if l.Before.ReplacementRatio > 0.1 && l.After.ReplacementRatio > l.Before.ReplacementRatio/2 {
+			t.Errorf("level %v: %.1f%% -> %.1f%%", l.Level.Cache,
+				100*l.Before.ReplacementRatio, 100*l.After.ReplacementRatio)
+		}
+	}
+}
+
+func TestOptimizeTilingMultiLevelErrors(t *testing.T) {
+	nest := transpose(16)
+	if _, err := OptimizeTilingMultiLevel(nest, nil, Options{}); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	bad := []Level{{Cache: cache.Config{Size: 100, LineSize: 32, Assoc: 1}, MissPenalty: 1}}
+	if _, err := OptimizeTilingMultiLevel(nest, bad, Options{}); err == nil {
+		t.Fatal("invalid cache accepted")
+	}
+	neg := []Level{{Cache: cache.DM8K, MissPenalty: 0}}
+	if _, err := OptimizeTilingMultiLevel(nest, neg, Options{}); err == nil {
+		t.Fatal("zero penalty accepted")
+	}
+}
+
+// TestMultiLevelBeatsL1OnlyOnL2: optimizing only the small L1 can pick
+// tiles that thrash a larger L2's long-distance reuse; the weighted
+// objective must do at least as well on combined cost as the L1-only tile.
+func TestMultiLevelBeatsL1OnlyOnL2(t *testing.T) {
+	nest := transpose(96)
+	l1 := cache.Config{Size: 2048, LineSize: 32, Assoc: 1}
+	l2 := cache.Config{Size: 16 * 1024, LineSize: 32, Assoc: 1}
+	levels := []Level{{Cache: l1, MissPenalty: 10}, {Cache: l2, MissPenalty: 100}}
+
+	multi, err := OptimizeTilingMultiLevel(nest, levels, Options{Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1only, err := OptimizeTiling(nest, Options{Cache: l1, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the L1-only tile under the same multi-level cost and the
+	// same shared sample: the weighted search must not lose to it.
+	ref := tileCost(t, nest, levels, l1only.Tile)
+	if multi.CostAfter > ref+1e-9 {
+		t.Fatalf("multi-level cost %.4f worse than L1-only tile's cost %.4f",
+			multi.CostAfter, ref)
+	}
+}
+
+// tileCost computes the weighted cost of a fixed tile under the same
+// sample the seed-44 searches use.
+func tileCost(t *testing.T, nest *ir.Nest, levels []Level, tile []int64) float64 {
+	t.Helper()
+	opt := Options{Seed: 44, Cache: levels[0].Cache}
+	opt = opt.withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
+	var c float64
+	for _, l := range levels {
+		e2 := *ev
+		e2.cfg = l.Cache
+		st, err := e2.tiled(nest, tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c += l.MissPenalty * float64(st.Replacement) / accesses
+	}
+	return c
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+func tileStr(t []int64) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// RenderFigure prints a Figure-8/9 result set as a text table.
+func RenderFigure(w io.Writer, title string, rows []FigureRow) {
+	fmt.Fprintf(w, "%s\n%-14s %10s %10s %6s  %s\n", title,
+		"Kernel", "NO Tiling", "Tiling", "Gens", "Tile")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10s %10s %6d  %s\n",
+			r.Label(), pct(r.NoTiling), pct(r.Tiling), r.Generations, tileStr(r.Tile))
+	}
+}
+
+// CSVFigure writes a Figure result set as CSV (label,no_tiling,tiling).
+func CSVFigure(w io.Writer, rows []FigureRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "no_tiling", "tiling", "generations", "tile"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Label(),
+			strconv.FormatFloat(r.NoTiling, 'f', 6, 64),
+			strconv.FormatFloat(r.Tiling, 'f', 6, 64),
+			strconv.Itoa(r.Generations),
+			tileStr(r.Tile),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderFigureBars prints a Figure-8/9 result set as paired ASCII bars —
+// the visual form the paper uses (dark bar: no tiling, light bar: tiling).
+func RenderFigureBars(w io.Writer, title string, rows []FigureRow) {
+	const width = 50
+	fmt.Fprintf(w, "%s\n(█ no tiling, ░ tiling; full scale = 100%%)\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %s %6s\n", r.Label(), bar('█', r.NoTiling, width), pct(r.NoTiling))
+		fmt.Fprintf(w, "%-14s %s %6s\n", "", bar('░', r.Tiling, width), pct(r.Tiling))
+	}
+}
+
+func bar(ch rune, ratio float64, width int) string {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	n := int(ratio*float64(width) + 0.5)
+	return strings.Repeat(string(ch), n) + strings.Repeat(" ", width-n)
+}
+
+// RenderTable2 prints Table 2.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: miss ratios (8KB direct-mapped, 32B lines)\n")
+	fmt.Fprintf(w, "%-10s %-10s | %10s %10s | %10s %10s | %s\n",
+		"Kernel", "Prob size", "Total", "Repl.", "Total", "Repl.", "Tile")
+	fmt.Fprintf(w, "%-10s %-10s | %21s | %21s |\n", "", "", "No Tiling", "Tiling")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s N=%-8d | %10s %10s | %10s %10s | %s\n",
+			r.Kernel, r.Size, pct(r.BeforeTotal), pct(r.BeforeRepl),
+			pct(r.AfterTotal), pct(r.AfterRepl), tileStr(r.Tile))
+	}
+}
+
+// RenderTable3 prints one cache's half of Table 3.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Table 3 (%v)\n", rows[0].Cache)
+	fmt.Fprintf(w, "%-12s %10s %10s %16s\n", "Kernel", "Original", "Padding", "Padding+tiling")
+	for _, r := range rows {
+		name := r.Kernel
+		if r.Size != 0 && r.Kernel == "ADI" {
+			name = fmt.Sprintf("%s %d", r.Kernel, r.Size)
+		}
+		fmt.Fprintf(w, "%-12s %10s %10s %16s\n",
+			name, pct(r.Original), pct(r.Padding), pct(r.PaddingTiling))
+	}
+}
+
+// RenderTable4 prints Table 4.
+func RenderTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintf(w, "Table 4: replacement miss ratios after tiling (excl. Table-3 kernels)\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %6s\n", "Cache", "<1%", "<2%", "<5%", "N")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8s %8s %8s %6d\n",
+			r.Cache, pct(r.Below1), pct(r.Below2), pct(r.Below5), r.N)
+	}
+}
+
+// RenderConvergence prints the §3.3 GA-convergence measurements.
+func RenderConvergence(w io.Writer, rows []ConvergenceRow) {
+	fmt.Fprintf(w, "GA convergence (§3.3: 15-25 generations, ~450 evaluations)\n")
+	fmt.Fprintf(w, "%-14s %6s %6s %10s %12s\n", "Kernel", "Gens", "Evals", "ConvAt", "Best repl.")
+	for _, r := range rows {
+		label := r.Kernel
+		if r.Size != 0 {
+			label = fmt.Sprintf("%s_%d", r.Kernel, r.Size)
+		}
+		fmt.Fprintf(w, "%-14s %6d %6d %10d %12s\n",
+			label, r.Generations, r.Evaluations, r.ConvergedAt, pct(r.BestRatio))
+	}
+}

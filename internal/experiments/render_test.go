@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []FigureRow {
+	return []FigureRow{
+		{Entry: Entry{Kernel: "T2D", Size: 500}, NoTiling: 0.38, Tiling: 0.005, Tile: []int64{228, 4}, Generations: 25},
+		{Entry: Entry{Kernel: "ADD"}, NoTiling: 0.86, Tiling: 0.59, Tile: []int64{5, 1, 18, 2}, Generations: 17},
+	}
+}
+
+func TestRenderFigureBars(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFigureBars(&buf, "Figure 8", sampleRows())
+	out := buf.String()
+	if !strings.Contains(out, "T2D_500") || !strings.Contains(out, "ADD") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The no-tiling bar of ADD (86%) must be longer than T2D's (38%).
+	lines := strings.Split(out, "\n")
+	var t2dBar, addBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "T2D_500") {
+			t2dBar = strings.Count(l, "█")
+		}
+		if strings.HasPrefix(l, "ADD") {
+			addBar = strings.Count(l, "█")
+		}
+	}
+	if addBar <= t2dBar || t2dBar == 0 {
+		t.Fatalf("bar lengths wrong: t2d=%d add=%d\n%s", t2dBar, addBar, out)
+	}
+}
+
+func TestBarClamping(t *testing.T) {
+	if got := bar('#', -0.5, 10); strings.Count(got, "#") != 0 {
+		t.Fatalf("negative ratio produced bars: %q", got)
+	}
+	if got := bar('#', 2.0, 10); strings.Count(got, "#") != 10 {
+		t.Fatalf("overflow ratio not clamped: %q", got)
+	}
+	if got := bar('#', 0.5, 10); strings.Count(got, "#") != 5 {
+		t.Fatalf("half ratio: %q", got)
+	}
+	if len([]rune(bar('#', 0.3, 20))) != 20 {
+		t.Fatal("bar not padded to width")
+	}
+}
+
+func TestPctAndTileStr(t *testing.T) {
+	if pct(0.1234) != "12.34%" {
+		t.Fatalf("pct = %q", pct(0.1234))
+	}
+	if tileStr([]int64{8, 16, 4}) != "(8,16,4)" {
+		t.Fatalf("tileStr = %q", tileStr([]int64{8, 16, 4}))
+	}
+}

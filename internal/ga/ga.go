@@ -1,0 +1,352 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Objective evaluates one decoded individual and returns the quantity to
+// MINIMISE (the paper minimises the number of replacement misses).
+type Objective func(values []int64) float64
+
+// CrossoverKind selects the recombination operator.
+type CrossoverKind int
+
+const (
+	// SinglePoint is the paper's simple crossover (Figure 5): swap the
+	// tails after one random site.
+	SinglePoint CrossoverKind = iota
+	// TwoPoint swaps the segment between two random sites.
+	TwoPoint
+	// Uniform swaps each bit independently with probability 1/2.
+	Uniform
+)
+
+func (k CrossoverKind) String() string {
+	switch k {
+	case TwoPoint:
+		return "two-point"
+	case Uniform:
+		return "uniform"
+	default:
+		return "single-point"
+	}
+}
+
+// Config holds the GA parameters. The zero value is invalid; use
+// PaperConfig for the settings of §3.3.
+type Config struct {
+	PopSize       int           // population size N
+	Crossover     CrossoverKind // recombination operator (default: the paper's single-point)
+	CrossoverProb float64       // probability a selected pair crosses over
+	MutationProb  float64       // per-bit flip probability
+	MinGens       int           // generations always run (Figure 7: 15)
+	MaxGens       int           // hard generation cap (Figure 7: 25)
+	ConvergeFrac  float64       // best-vs-average convergence threshold (0.02)
+	Seed1, Seed2  uint64        // PCG seed
+	// SeedValues are decoded-value vectors injected into the otherwise
+	// random initial population (standard heuristic seeding). On search
+	// spaces with huge per-variable ranges a uniform initial population
+	// can miss the interesting region entirely; a couple of heuristic
+	// individuals give selection a foothold. At most PopSize-1 seeds are
+	// used, so the population always keeps random diversity.
+	SeedValues [][]int64
+}
+
+// PaperConfig returns the parameters the paper found to give near-optimal
+// results: population 30, crossover 0.9, mutation 0.001, 15–25 generations
+// with 2% convergence.
+func PaperConfig(seed uint64) Config {
+	return Config{
+		PopSize:       30,
+		CrossoverProb: 0.9,
+		MutationProb:  0.001,
+		MinGens:       15,
+		MaxGens:       25,
+		ConvergeFrac:  0.02,
+		Seed1:         seed,
+		Seed2:         seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.PopSize < 2:
+		return fmt.Errorf("ga: population %d < 2", c.PopSize)
+	case c.CrossoverProb < 0 || c.CrossoverProb > 1:
+		return fmt.Errorf("ga: crossover probability %v", c.CrossoverProb)
+	case c.MutationProb < 0 || c.MutationProb > 1:
+		return fmt.Errorf("ga: mutation probability %v", c.MutationProb)
+	case c.MinGens < 1 || c.MaxGens < c.MinGens:
+		return fmt.Errorf("ga: generation schedule %d..%d", c.MinGens, c.MaxGens)
+	case c.ConvergeFrac < 0:
+		return fmt.Errorf("ga: convergence fraction %v", c.ConvergeFrac)
+	}
+	return nil
+}
+
+// GenStats records one generation for convergence analysis.
+type GenStats struct {
+	Gen       int
+	Best      float64 // best (lowest) objective in the generation
+	Avg       float64 // population average objective
+	BestEver  float64 // best seen so far across generations
+	Converged bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Best        []int64 // decoded best-ever individual
+	BestValue   float64 // its objective value
+	Generations int     // generations executed
+	Evaluations int     // objective calls (cache misses of the memo table)
+	History     []GenStats
+}
+
+type individual struct {
+	bits  []byte
+	value float64
+}
+
+// Run executes the genetic algorithm of Figure 4 with the termination
+// schedule of Figure 7 and returns the best individual found. Objective
+// values are memoised per decoded genome, so Evaluations counts distinct
+// candidate solutions examined.
+func Run(spec Spec, obj Objective, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(spec.Chroms) == 0 {
+		return Result{}, fmt.Errorf("ga: empty genome spec")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed1, cfg.Seed2))
+	nbits := spec.TotalBits()
+
+	memo := map[string]float64{}
+	evals := 0
+	eval := func(ind *individual) {
+		key := string(ind.bits)
+		if v, ok := memo[key]; ok {
+			ind.value = v
+			return
+		}
+		v := obj(spec.Decode(ind.bits))
+		memo[key] = v
+		evals++
+		ind.value = v
+	}
+
+	// Random initial population (Figure 4: "Supply a population P0"),
+	// with any heuristic seed individuals replacing the first slots.
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		if i < len(cfg.SeedValues) && i < cfg.PopSize-1 {
+			pop[i].bits = spec.Encode(cfg.SeedValues[i])
+		} else {
+			pop[i].bits = make([]byte, nbits)
+			for b := range pop[i].bits {
+				pop[i].bits[b] = byte(rng.IntN(2))
+			}
+		}
+		eval(&pop[i])
+	}
+
+	var res Result
+	res.BestValue = math.Inf(1)
+	record := func(gen int) GenStats {
+		best, sum := math.Inf(1), 0.0
+		for i := range pop {
+			sum += pop[i].value
+			if pop[i].value < best {
+				best = pop[i].value
+			}
+			if pop[i].value < res.BestValue {
+				res.BestValue = pop[i].value
+				res.Best = spec.Decode(pop[i].bits)
+			}
+		}
+		avg := sum / float64(len(pop))
+		st := GenStats{Gen: gen, Best: best, Avg: avg, BestEver: res.BestValue}
+		// §3.3: converged when the best individual's objective differs
+		// from the population average by less than ConvergeFrac of the
+		// average.
+		if avg == 0 {
+			st.Converged = best == 0
+		} else {
+			st.Converged = (avg-best)/avg < cfg.ConvergeFrac
+		}
+		return st
+	}
+	res.History = append(res.History, record(0))
+
+	// Figure 7 schedule.
+	gen := 0
+	for {
+		var stop bool
+		switch {
+		case gen < cfg.MinGens:
+		case gen < cfg.MaxGens:
+			stop = res.History[len(res.History)-1].Converged
+		default:
+			stop = true
+		}
+		if stop {
+			break
+		}
+		gen++
+		pop = nextGeneration(pop, spec, cfg, rng, eval)
+		res.History = append(res.History, record(gen))
+	}
+	res.Generations = gen
+	res.Evaluations = evals
+	return res, nil
+}
+
+// nextGeneration applies selection, crossover and mutation (Figure 6).
+func nextGeneration(pop []individual, spec Spec, cfg Config, rng *rand.Rand, eval func(*individual)) []individual {
+	selected := selectRSS(pop, rng)
+	next := make([]individual, 0, len(pop))
+	// Pair consecutive selected individuals (Figure 5).
+	for i := 0; i+1 < len(selected); i += 2 {
+		a := cloneBits(selected[i].bits)
+		b := cloneBits(selected[i+1].bits)
+		if rng.Float64() < cfg.CrossoverProb {
+			crossover(cfg.Crossover, a, b, rng)
+		}
+		next = append(next, individual{bits: a}, individual{bits: b})
+	}
+	if len(next) < len(pop) { // odd population: carry the last selection
+		next = append(next, individual{bits: cloneBits(selected[len(selected)-1].bits)})
+	}
+	// Mutation: flip each bit with probability MutationProb.
+	for i := range next {
+		for b := range next[i].bits {
+			if rng.Float64() < cfg.MutationProb {
+				next[i].bits[b] ^= 1
+			}
+		}
+		eval(&next[i])
+	}
+	return next
+}
+
+// selectRSS implements remainder stochastic selection without replacement
+// (Goldberg): each individual receives ⌊eᵢ⌋ deterministic copies where
+// eᵢ = N·fitᵢ/Σfit, and the remaining slots are filled by Bernoulli trials
+// on the fractional parts, each individual winning at most one extra copy.
+// Because the GA minimises, raw objective values are transformed into
+// fitness by reflecting around the generation's worst value.
+func selectRSS(pop []individual, rng *rand.Rand) []individual {
+	n := len(pop)
+	worst := math.Inf(-1)
+	for i := range pop {
+		if pop[i].value > worst {
+			worst = pop[i].value
+		}
+	}
+	fits := make([]float64, n)
+	var sum float64
+	for i := range pop {
+		// +ε keeps the worst individual selectable and avoids a zero sum
+		// in uniform populations.
+		fits[i] = worst - pop[i].value + 1e-9
+		sum += fits[i]
+	}
+	// Goldberg's linear fitness scaling: cap the expected copies of the
+	// best individual at scalingCap to prevent premature takeover (the
+	// standard companion of remainder stochastic selection).
+	const scalingCap = 2.0
+	avg := sum / float64(n)
+	fmax := 0.0
+	for _, f := range fits {
+		if f > fmax {
+			fmax = f
+		}
+	}
+	if fmax > scalingCap*avg && fmax > avg {
+		a := (scalingCap - 1) * avg / (fmax - avg)
+		b := avg * (fmax - scalingCap*avg) / (fmax - avg)
+		sum = 0
+		for i := range fits {
+			fits[i] = a*fits[i] + b
+			if fits[i] < 0 {
+				fits[i] = 0
+			}
+			sum += fits[i]
+		}
+		if sum <= 0 { // degenerate: fall back to unscaled uniformity
+			for i := range fits {
+				fits[i] = 1
+			}
+			sum = float64(n)
+		}
+	}
+	selected := make([]individual, 0, n)
+	frac := make([]float64, n)
+	for i := range pop {
+		e := float64(n) * fits[i] / sum
+		whole := int(e)
+		frac[i] = e - float64(whole)
+		for c := 0; c < whole; c++ {
+			selected = append(selected, pop[i])
+		}
+	}
+	// Fill remaining slots from fractional parts, without replacement.
+	order := rng.Perm(n)
+	taken := make([]bool, n)
+	for len(selected) < n {
+		progress := false
+		for _, i := range order {
+			if len(selected) >= n {
+				break
+			}
+			if taken[i] {
+				continue
+			}
+			if rng.Float64() < frac[i] {
+				selected = append(selected, pop[i])
+				taken[i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// All fractions exhausted (or zero): fill uniformly.
+			for len(selected) < n {
+				selected = append(selected, pop[rng.IntN(n)])
+			}
+		}
+	}
+	// Shuffle so crossover pairs are random.
+	rng.Shuffle(len(selected), func(i, j int) { selected[i], selected[j] = selected[j], selected[i] })
+	return selected
+}
+
+// crossover recombines two genomes in place.
+func crossover(kind CrossoverKind, a, b []byte, rng *rand.Rand) {
+	switch kind {
+	case TwoPoint:
+		i := 1 + rng.IntN(len(a)-1)
+		j := 1 + rng.IntN(len(a)-1)
+		if i > j {
+			i, j = j, i
+		}
+		for p := i; p < j; p++ {
+			a[p], b[p] = b[p], a[p]
+		}
+	case Uniform:
+		for p := range a {
+			if rng.IntN(2) == 0 {
+				a[p], b[p] = b[p], a[p]
+			}
+		}
+	default: // SinglePoint (Figure 5)
+		site := 1 + rng.IntN(len(a)-1)
+		for p := site; p < len(a); p++ {
+			a[p], b[p] = b[p], a[p]
+		}
+	}
+}
+
+func cloneBits(b []byte) []byte { return append([]byte(nil), b...) }

@@ -1,0 +1,146 @@
+// Package ga implements the genetic algorithm of §3.2–3.3: individuals are
+// bit strings split into one chromosome per decision variable, genes drawn
+// from the 2-bit alphabet {00,01,10,11}, fitness-proportionate remainder
+// stochastic selection without replacement, single-point crossover and
+// per-bit mutation, with the paper's 15–25 generation termination schedule
+// (Figure 7) and 2% best-vs-average convergence criterion.
+//
+// The engine is generic over the objective: the paper uses it both for tile
+// sizes (§3.3) and padding parameters (§4.3 / reference [28]).
+package ga
+
+import "fmt"
+
+// GeneBits is the width of one gene: the paper found the 4-letter alphabet
+// {00, 01, 10, 11} to work well, i.e. 2 bits per gene.
+const GeneBits = 2
+
+// Chromosome describes the encoding of one decision variable with range
+// [1..Upper] (tile sizes) or [Lo..Lo+Span−1] in general.
+type Chromosome struct {
+	// Lo is the smallest decoded value (1 for tile sizes).
+	Lo int64
+	// Span is the number of representable values (Upper−Lo+1).
+	Span int64
+	// Bits is k = ⌈log₂ Span⌉, rounded up to an even number so the
+	// chromosome is a whole number of 2-bit genes.
+	Bits int
+}
+
+// NewChromosome builds the encoding for a variable ranging over
+// [lo, lo+span-1], span ≥ 1, using the paper's 2-bit gene alphabet.
+func NewChromosome(lo, span int64) Chromosome {
+	return NewChromosomeBits(lo, span, GeneBits)
+}
+
+// NewChromosomeBits is NewChromosome with an explicit gene width: the bit
+// count k = ⌈log₂ span⌉ is rounded up to a whole number of geneBits-wide
+// genes (§3.3 rounds odd k up by one for the 2-bit alphabet; a 1-bit
+// alphabet performs no rounding). Exposed for the alphabet ablation.
+func NewChromosomeBits(lo, span int64, geneBits int) Chromosome {
+	if span < 1 {
+		panic(fmt.Sprintf("ga: chromosome span %d", span))
+	}
+	if geneBits < 1 {
+		panic(fmt.Sprintf("ga: gene width %d", geneBits))
+	}
+	bits := 0
+	for int64(1)<<bits < span {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1 // degenerate single-value variable still occupies a slot
+	}
+	if rem := bits % geneBits; rem != 0 {
+		bits += geneBits - rem
+	}
+	return Chromosome{Lo: lo, Span: span, Bits: bits}
+}
+
+// TileChromosome is the paper's tile-size chromosome for a loop with upper
+// bound u: values in [1..u].
+func TileChromosome(u int64) Chromosome { return NewChromosome(1, u) }
+
+// Decode maps the raw chromosome value x ∈ [0, 2^k−1] to the variable's
+// range using the paper's mapping (equation 2):
+//
+//	g(x) = ⌊x·(U−1)/(2^k−1)⌋ + 1, generalised to an arbitrary base Lo.
+//
+// Every value of the range has at least one representation.
+func (c Chromosome) Decode(x uint64) int64 {
+	maxRaw := uint64(1)<<c.Bits - 1
+	return c.Lo + int64(x*(uint64(c.Span)-1)/maxRaw)
+}
+
+// Spec is the genome layout: the concatenation of the chromosomes.
+type Spec struct {
+	Chroms []Chromosome
+}
+
+// NewTileSpec builds the genome for tile-size search over loops with the
+// given upper bounds (extents).
+func NewTileSpec(uppers []int64) Spec {
+	return NewTileSpecBits(uppers, GeneBits)
+}
+
+// NewTileSpecBits is NewTileSpec with an explicit gene alphabet width.
+func NewTileSpecBits(uppers []int64, geneBits int) Spec {
+	s := Spec{Chroms: make([]Chromosome, len(uppers))}
+	for i, u := range uppers {
+		s.Chroms[i] = NewChromosomeBits(1, u, geneBits)
+	}
+	return s
+}
+
+// TotalBits returns the genome length in bits.
+func (s Spec) TotalBits() int {
+	n := 0
+	for _, c := range s.Chroms {
+		n += c.Bits
+	}
+	return n
+}
+
+// Decode maps a genome (one byte per bit, MSB first within each
+// chromosome) to the decision-variable values.
+func (s Spec) Decode(bits []byte) []int64 {
+	out := make([]int64, len(s.Chroms))
+	off := 0
+	for i, c := range s.Chroms {
+		var x uint64
+		for b := 0; b < c.Bits; b++ {
+			x = x<<1 | uint64(bits[off+b])
+		}
+		out[i] = c.Decode(x)
+		off += c.Bits
+	}
+	return out
+}
+
+// Encode produces some genome decoding to the given values (the smallest
+// raw preimage per chromosome). Useful for seeding known-good individuals.
+func (s Spec) Encode(values []int64) []byte {
+	bits := make([]byte, s.TotalBits())
+	off := 0
+	for i, c := range s.Chroms {
+		target := values[i]
+		maxRaw := uint64(1)<<c.Bits - 1
+		// Smallest x with Decode(x) == target: invert the floor mapping.
+		var x uint64
+		if c.Span > 1 {
+			// Decode(x) = Lo + floor(x*(Span-1)/maxRaw); want the smallest
+			// x with floor(x*(Span-1)/maxRaw) = target-Lo.
+			t := uint64(target - c.Lo)
+			x = (t*maxRaw + uint64(c.Span) - 2) / (uint64(c.Span) - 1)
+			for c.Decode(x) < target {
+				x++
+			}
+		}
+		for b := c.Bits - 1; b >= 0; b-- {
+			bits[off+b] = byte(x & 1)
+			x >>= 1
+		}
+		off += c.Bits
+	}
+	return bits
+}

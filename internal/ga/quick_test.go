@@ -1,0 +1,54 @@
+package ga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Decode always lands in [Lo, Lo+Span-1], for any raw value and
+// any representable range.
+func TestQuickDecodeInRange(t *testing.T) {
+	f := func(rawSeed uint16, spanSeed uint8, loSeed int8) bool {
+		span := int64(spanSeed)%500 + 1
+		lo := int64(loSeed)
+		c := NewChromosome(lo, span)
+		raw := uint64(rawSeed) % (uint64(1) << c.Bits)
+		v := c.Decode(raw)
+		return v >= lo && v < lo+span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Encode∘Decode is the identity on every representable value.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(u1, u2 uint8, t1, t2 uint8) bool {
+		up1 := int64(u1)%200 + 1
+		up2 := int64(u2)%200 + 1
+		spec := NewTileSpec([]int64{up1, up2})
+		vals := []int64{int64(t1)%up1 + 1, int64(t2)%up2 + 1}
+		got := spec.Decode(spec.Encode(vals))
+		return got[0] == vals[0] && got[1] == vals[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode is monotone non-decreasing in the raw value (the g
+// mapping preserves order, which crossover exploits).
+func TestQuickDecodeMonotone(t *testing.T) {
+	c := TileChromosome(1000)
+	f := func(a, b uint16) bool {
+		ra := uint64(a) % (uint64(1) << c.Bits)
+		rb := uint64(b) % (uint64(1) << c.Bits)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return c.Decode(ra) <= c.Decode(rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

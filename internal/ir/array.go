@@ -1,0 +1,224 @@
+// Package ir defines the loop-nest intermediate representation consumed by
+// the locality analysis: arrays with explicit memory layout, affine array
+// references, and perfectly nested loops with affine bounds.
+//
+// The representation deliberately mirrors what Cache Miss Equations need —
+// iteration space, array sizes, base addresses and subscript functions — and
+// nothing more (no statement bodies; only the memory references matter).
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Layout selects the linearisation order of a multi-dimensional array.
+type Layout int
+
+const (
+	// ColumnMajor is Fortran order: the first subscript varies fastest.
+	// The paper's kernels are Fortran codes, so this is the default.
+	ColumnMajor Layout = iota
+	// RowMajor is C order: the last subscript varies fastest.
+	RowMajor
+)
+
+func (l Layout) String() string {
+	if l == RowMajor {
+		return "row-major"
+	}
+	return "column-major"
+}
+
+// Array describes one program array: its declared shape, element size,
+// layout and base address. Subscripts are 1-based (Fortran convention).
+//
+// Pad holds per-dimension intra-array padding: Pad[d] extra (unused)
+// elements are added to dimension d's extent when computing strides, so
+// padding changes addresses without changing the set of valid subscripts.
+// BasePad is inter-array padding: extra bytes added to the base address.
+type Array struct {
+	Name    string
+	Dims    []int64 // declared extent per dimension (≥1 each)
+	Elem    int64   // element size in bytes
+	Base    int64   // base address in bytes
+	Layout  Layout
+	Pad     []int64 // optional; nil means no intra padding
+	BasePad int64   // inter-array padding in bytes
+}
+
+// Validate checks structural invariants.
+func (a *Array) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("array with empty name")
+	}
+	if len(a.Dims) == 0 {
+		return fmt.Errorf("array %s: no dimensions", a.Name)
+	}
+	for d, e := range a.Dims {
+		if e < 1 {
+			return fmt.Errorf("array %s: dimension %d extent %d < 1", a.Name, d, e)
+		}
+	}
+	if a.Elem <= 0 {
+		return fmt.Errorf("array %s: element size %d", a.Name, a.Elem)
+	}
+	if a.Base < 0 || a.Base+a.BasePad < 0 {
+		return fmt.Errorf("array %s: negative base address", a.Name)
+	}
+	if a.Pad != nil && len(a.Pad) != len(a.Dims) {
+		return fmt.Errorf("array %s: pad rank %d != dims rank %d", a.Name, len(a.Pad), len(a.Dims))
+	}
+	for d, p := range a.Pad {
+		if p < 0 {
+			return fmt.Errorf("array %s: negative pad in dimension %d", a.Name, d)
+		}
+	}
+	return nil
+}
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// paddedExtent returns the extent of dimension d including intra padding.
+func (a *Array) paddedExtent(d int) int64 {
+	e := a.Dims[d]
+	if a.Pad != nil {
+		e += a.Pad[d]
+	}
+	return e
+}
+
+// Strides returns the element stride of each dimension under the array's
+// layout and padding.
+func (a *Array) Strides() []int64 {
+	s := make([]int64, len(a.Dims))
+	switch a.Layout {
+	case ColumnMajor:
+		st := int64(1)
+		for d := 0; d < len(a.Dims); d++ {
+			s[d] = st
+			st *= a.paddedExtent(d)
+		}
+	case RowMajor:
+		st := int64(1)
+		for d := len(a.Dims) - 1; d >= 0; d-- {
+			s[d] = st
+			st *= a.paddedExtent(d)
+		}
+	}
+	return s
+}
+
+// SizeBytes returns the padded storage footprint of the array in bytes.
+func (a *Array) SizeBytes() int64 {
+	n := int64(1)
+	for d := range a.Dims {
+		n *= a.paddedExtent(d)
+	}
+	return n * a.Elem
+}
+
+// LinearIndex returns the 0-based linearised element index of the given
+// 1-based subscripts.
+func (a *Array) LinearIndex(subs []int64) int64 {
+	strides := a.Strides()
+	var idx int64
+	for d, s := range subs {
+		idx += (s - 1) * strides[d]
+	}
+	return idx
+}
+
+// Address returns the byte address of the element with the given 1-based
+// subscripts.
+func (a *Array) Address(subs []int64) int64 {
+	return a.Base + a.BasePad + a.LinearIndex(subs)*a.Elem
+}
+
+// Delinearize inverts LinearIndex: it maps a 0-based element index back to
+// 1-based subscripts. It reports false if the index is out of range of the
+// declared (unpadded) extents — e.g. when a cache line spans padding.
+func (a *Array) Delinearize(idx int64) ([]int64, bool) {
+	if idx < 0 {
+		return nil, false
+	}
+	subs := make([]int64, len(a.Dims))
+	strides := a.Strides()
+	// Process dimensions from largest stride to smallest.
+	order := make([]int, len(a.Dims))
+	for i := range order {
+		order[i] = i
+	}
+	// Simple selection sort by descending stride (rank is tiny).
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if strides[order[j]] > strides[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, d := range order {
+		q := idx / strides[d]
+		idx -= q * strides[d]
+		if q >= a.Dims[d] { // landed in padding or out of bounds
+			return nil, false
+		}
+		subs[d] = q + 1
+	}
+	return subs, true
+}
+
+// Ref is one affine array reference in the loop body. Subscript d is an
+// affine expression over the loop variables of the enclosing nest
+// (variable index = loop depth, 0 = outermost).
+type Ref struct {
+	Array *Array
+	Subs  []expr.Affine
+	Write bool
+}
+
+// Address returns the byte address the reference touches at the given
+// iteration point (point[d] = value of loop variable d).
+func (r *Ref) Address(point []int64) int64 {
+	strides := r.Array.Strides()
+	addr := r.Array.Base + r.Array.BasePad
+	for d, sub := range r.Subs {
+		addr += (sub.Eval(point) - 1) * strides[d] * r.Array.Elem
+	}
+	return addr
+}
+
+// Validate checks the reference against its array and the nest depth.
+func (r *Ref) Validate(depth int) error {
+	if r.Array == nil {
+		return fmt.Errorf("reference with nil array")
+	}
+	if len(r.Subs) != r.Array.Rank() {
+		return fmt.Errorf("reference to %s: %d subscripts for rank-%d array",
+			r.Array.Name, len(r.Subs), r.Array.Rank())
+	}
+	for d, s := range r.Subs {
+		if s.NumVars() > depth {
+			return fmt.Errorf("reference to %s subscript %d uses variable v%d beyond nest depth %d",
+				r.Array.Name, d, s.NumVars()-1, depth)
+		}
+	}
+	return nil
+}
+
+// String renders the reference like "a(i,j)".
+func (r *Ref) String() string { return r.StringVars(nil) }
+
+// StringVars renders the reference with the given loop-variable names.
+func (r *Ref) StringVars(names []string) string {
+	s := r.Array.Name + "("
+	for d, sub := range r.Subs {
+		if d > 0 {
+			s += ","
+		}
+		s += sub.StringVars(names)
+	}
+	return s + ")"
+}

@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func testArray() *Array {
+	return &Array{Name: "a", Dims: []int64{10, 20}, Elem: 8, Base: 1024, Layout: ColumnMajor}
+}
+
+func TestArrayValidate(t *testing.T) {
+	a := testArray()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Array{
+		{Name: "", Dims: []int64{2}, Elem: 8},
+		{Name: "x", Dims: nil, Elem: 8},
+		{Name: "x", Dims: []int64{0}, Elem: 8},
+		{Name: "x", Dims: []int64{2}, Elem: 0},
+		{Name: "x", Dims: []int64{2}, Elem: 8, Base: -1},
+		{Name: "x", Dims: []int64{2, 2}, Elem: 8, Pad: []int64{1}},
+		{Name: "x", Dims: []int64{2}, Elem: 8, Pad: []int64{-1}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestColumnMajorAddressing(t *testing.T) {
+	a := testArray() // 10x20 doubles, column-major
+	// a(1,1) is at base.
+	if got := a.Address([]int64{1, 1}); got != 1024 {
+		t.Fatalf("a(1,1) = %d, want 1024", got)
+	}
+	// a(2,1): stride of dim0 is 1 element.
+	if got := a.Address([]int64{2, 1}); got != 1024+8 {
+		t.Fatalf("a(2,1) = %d, want %d", got, 1024+8)
+	}
+	// a(1,2): stride of dim1 is 10 elements.
+	if got := a.Address([]int64{1, 2}); got != 1024+80 {
+		t.Fatalf("a(1,2) = %d, want %d", got, 1024+80)
+	}
+	if got := a.SizeBytes(); got != 10*20*8 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestRowMajorAddressing(t *testing.T) {
+	a := testArray()
+	a.Layout = RowMajor
+	// Row-major: last subscript fastest.
+	if got := a.Address([]int64{1, 2}); got != 1024+8 {
+		t.Fatalf("a(1,2) = %d, want %d", got, 1024+8)
+	}
+	if got := a.Address([]int64{2, 1}); got != 1024+20*8 {
+		t.Fatalf("a(2,1) = %d, want %d", got, 1024+20*8)
+	}
+}
+
+func TestPaddingChangesStridesNotShape(t *testing.T) {
+	a := testArray()
+	plain := a.Address([]int64{1, 2})
+	a.Pad = []int64{3, 0} // leading dimension 10 -> 13
+	padded := a.Address([]int64{1, 2})
+	if padded != plain+3*8 {
+		t.Fatalf("padded a(1,2) = %d, want %d", padded, plain+3*8)
+	}
+	if a.SizeBytes() != 13*20*8 {
+		t.Fatalf("padded size = %d", a.SizeBytes())
+	}
+	a.BasePad = 16
+	if got := a.Address([]int64{1, 1}); got != 1024+16 {
+		t.Fatalf("base-padded a(1,1) = %d", got)
+	}
+}
+
+func TestDelinearizeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for _, layout := range []Layout{ColumnMajor, RowMajor} {
+		a := &Array{Name: "a", Dims: []int64{7, 5, 11}, Elem: 8, Layout: layout, Pad: []int64{2, 0, 1}}
+		for iter := 0; iter < 500; iter++ {
+			subs := []int64{1 + r.Int64N(7), 1 + r.Int64N(5), 1 + r.Int64N(11)}
+			idx := a.LinearIndex(subs)
+			got, ok := a.Delinearize(idx)
+			if !ok {
+				t.Fatalf("%v: Delinearize(%d) failed for %v", layout, idx, subs)
+			}
+			for d := range subs {
+				if got[d] != subs[d] {
+					t.Fatalf("%v: round trip %v -> %d -> %v", layout, subs, idx, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDelinearizeRejectsPaddingAndOOB(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int64{4, 3}, Elem: 8, Pad: []int64{2, 0}}
+	// Element index 4 lies in the pad of column 1 (padded extent 6).
+	if _, ok := a.Delinearize(4); ok {
+		t.Fatal("index in padding accepted")
+	}
+	if _, ok := a.Delinearize(-1); ok {
+		t.Fatal("negative index accepted")
+	}
+	if _, ok := a.Delinearize(6*3 + 5); ok {
+		t.Fatal("index past array end accepted")
+	}
+}
+
+func TestRefAddress(t *testing.T) {
+	a := testArray()
+	// a(i+1, j) with i = v0, j = v1
+	r := Ref{Array: a, Subs: []expr.Affine{expr.VarPlus(0, 1), expr.Var(1)}}
+	pt := []int64{3, 2}
+	want := a.Address([]int64{4, 2})
+	if got := r.Address(pt); got != want {
+		t.Fatalf("Ref.Address = %d, want %d", got, want)
+	}
+	if s := r.StringVars([]string{"i", "j"}); s != "a(i+1,j)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRefValidate(t *testing.T) {
+	a := testArray()
+	good := Ref{Array: a, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}}
+	if err := good.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	wrongRank := Ref{Array: a, Subs: []expr.Affine{expr.Var(0)}}
+	if err := wrongRank.Validate(2); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	deepVar := Ref{Array: a, Subs: []expr.Affine{expr.Var(0), expr.Var(5)}}
+	if err := deepVar.Validate(2); err == nil {
+		t.Fatal("out-of-depth variable accepted")
+	}
+	if err := (&Ref{}).Validate(1); err == nil {
+		t.Fatal("nil array accepted")
+	}
+}

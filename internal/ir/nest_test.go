@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// rectNest builds do i=1,ni { do j=1,nj { read b(i,j); write a(j,i) } }.
+func rectNest(ni, nj int64) *Nest {
+	a := &Array{Name: "a", Dims: []int64{nj, ni}, Elem: 8, Base: 0}
+	b := &Array{Name: "b", Dims: []int64{ni, nj}, Elem: 8, Base: a.SizeBytes()}
+	return &Nest{
+		Name: "t2d",
+		Loops: []Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: BoundOf(expr.Const(ni)), Step: 1},
+			{Var: "j", Lower: expr.Const(1), Upper: BoundOf(expr.Const(nj)), Step: 1},
+		},
+		Refs: []Ref{
+			{Array: b, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}},
+			{Array: a, Subs: []expr.Affine{expr.Var(1), expr.Var(0)}, Write: true},
+		},
+	}
+}
+
+func TestNestValidateAndShape(t *testing.T) {
+	n := rectNest(10, 20)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsRectangular() {
+		t.Fatal("rectangular nest not detected")
+	}
+	if n.Depth() != 2 {
+		t.Fatalf("Depth = %d", n.Depth())
+	}
+	arrays := n.Arrays()
+	if len(arrays) != 2 || arrays[0].Name != "b" || arrays[1].Name != "a" {
+		t.Fatalf("Arrays = %v", arrays)
+	}
+}
+
+func TestNestValidateErrors(t *testing.T) {
+	n := rectNest(10, 20)
+	n.Loops[1].Step = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	n = rectNest(10, 20)
+	n.Loops[0].Lower = expr.Var(1) // outer bound using inner var
+	if err := n.Validate(); err == nil {
+		t.Fatal("forward-referencing lower bound accepted")
+	}
+	n = rectNest(10, 20)
+	n.Refs = nil
+	if err := n.Validate(); err == nil {
+		t.Fatal("empty body accepted")
+	}
+	if err := (&Nest{Name: "x", Refs: make([]Ref, 1)}).Validate(); err == nil {
+		t.Fatal("empty loop list accepted")
+	}
+}
+
+func TestBoundEval(t *testing.T) {
+	b := MinBound(expr.VarPlus(0, 4), expr.Const(7))
+	if got := b.Eval([]int64{1}); got != 5 {
+		t.Fatalf("min(v0+4,7) at v0=1 = %d, want 5", got)
+	}
+	if got := b.Eval([]int64{10}); got != 7 {
+		t.Fatalf("min(v0+4,7) at v0=10 = %d, want 7", got)
+	}
+	if b.IsConst() {
+		t.Fatal("variable bound reported constant")
+	}
+	if s := b.StringVars([]string{"ii"}); s != "min(ii+4,7)" {
+		t.Fatalf("Bound string = %q", s)
+	}
+}
+
+func TestNonRectangularDetection(t *testing.T) {
+	n := rectNest(10, 20)
+	n.Loops[1].Upper = MinBound(expr.VarPlus(0, 3), expr.Const(20))
+	if n.IsRectangular() {
+		t.Fatal("min-bound nest reported rectangular")
+	}
+	n2 := rectNest(10, 20)
+	n2.Loops[0].Step = 4
+	if n2.IsRectangular() {
+		t.Fatal("strided nest reported rectangular")
+	}
+}
+
+func TestNestString(t *testing.T) {
+	s := rectNest(3, 4).String()
+	for _, want := range []string{"do i = 1, 3", "do j = 1, 4", "read  b(i,j)", "write a(j,i)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestLayoutArrays(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int64{10}, Elem: 8}
+	b := &Array{Name: "b", Dims: []int64{3}, Elem: 8}
+	c := &Array{Name: "c", Dims: []int64{5}, Elem: 8}
+	LayoutArrays(100, 32, a, b, c)
+	if a.Base != 128 { // aligned up from 100
+		t.Fatalf("a.Base = %d, want 128", a.Base)
+	}
+	if b.Base != 224 { // 128+80=208, aligned up to 224
+		t.Fatalf("b.Base = %d, want 224", b.Base)
+	}
+	if c.Base != 256 { // 224+24=248, aligned up to 256
+		t.Fatalf("c.Base = %d, want 256", c.Base)
+	}
+}

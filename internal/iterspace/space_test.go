@@ -1,0 +1,128 @@
+package iterspace
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBoxTraversalOrder(t *testing.T) {
+	b := NewBox([]int64{1, 1}, []int64{2, 3})
+	p := make([]int64, 2)
+	if !b.First(p) {
+		t.Fatal("empty box")
+	}
+	var got [][2]int64
+	for {
+		got = append(got, [2]int64{p[0], p[1]})
+		if !b.Next(p) {
+			break
+		}
+	}
+	want := [][2]int64{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+}
+
+func TestBoxPrevInvertsNext(t *testing.T) {
+	b := NewBox([]int64{0, 2, -1}, []int64{2, 4, 1})
+	p := make([]int64, 3)
+	b.First(p)
+	var seq [][]int64
+	for {
+		seq = append(seq, append([]int64(nil), p...))
+		if !b.Next(p) {
+			break
+		}
+	}
+	// Walk backwards from the last point.
+	copy(p, seq[len(seq)-1])
+	for i := len(seq) - 2; i >= 0; i-- {
+		if !b.Prev(p) {
+			t.Fatalf("Prev ended early at %d", i)
+		}
+		if Compare(p, seq[i]) != 0 {
+			t.Fatalf("Prev mismatch at %d: %v vs %v", i, p, seq[i])
+		}
+	}
+	if b.Prev(p) {
+		t.Fatal("Prev past the first point")
+	}
+}
+
+func TestBoxContainsAndSample(t *testing.T) {
+	b := NewBox([]int64{1, 5}, []int64{3, 9})
+	if !b.Contains([]int64{2, 7}) || b.Contains([]int64{0, 7}) || b.Contains([]int64{2, 10}) {
+		t.Fatal("Contains wrong")
+	}
+	r := rand.New(rand.NewPCG(7, 7))
+	p := make([]int64, 2)
+	counts := map[[2]int64]int{}
+	for i := 0; i < 15000; i++ {
+		b.Sample(r, p)
+		if !b.Contains(p) {
+			t.Fatalf("sampled point %v outside box", p)
+		}
+		counts[[2]int64{p[0], p[1]}]++
+	}
+	// 15 cells, 1000 expected each; loose uniformity check.
+	if len(counts) != 15 {
+		t.Fatalf("sampled %d distinct cells, want 15", len(counts))
+	}
+	for cell, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("cell %v sampled %d times (expected ~1000)", cell, c)
+		}
+	}
+}
+
+func TestBoxMinWithPinned(t *testing.T) {
+	b := NewBox([]int64{1, 1, 1}, []int64{4, 5, 6})
+	p := make([]int64, 3)
+	if !b.MinWithPinned([]int64{Free, 3, Free}, p) {
+		t.Fatal("MinWithPinned failed")
+	}
+	if p[0] != 1 || p[1] != 3 || p[2] != 1 {
+		t.Fatalf("MinWithPinned = %v", p)
+	}
+	if b.MinWithPinned([]int64{Free, 9, Free}, p) {
+		t.Fatal("out-of-range pin accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare([]int64{1, 2}, []int64{1, 3}) != -1 {
+		t.Fatal("compare lt")
+	}
+	if Compare([]int64{2, 0}, []int64{1, 9}) != 1 {
+		t.Fatal("compare gt")
+	}
+	if Compare([]int64{5, 5}, []int64{5, 5}) != 0 {
+		t.Fatal("compare eq")
+	}
+}
+
+func TestNewBoxPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rank mismatch": func() { NewBox([]int64{1}, []int64{2, 3}) },
+		"empty rank":    func() { NewBox(nil, nil) },
+		"inverted":      func() { NewBox([]int64{5}, []int64{4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

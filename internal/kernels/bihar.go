@@ -1,0 +1,169 @@
+package kernels
+
+import "repro/internal/ir"
+
+// The six BIHAR kernels are FFTPACK-style transform passes: 3-deep nests
+// in which at least one array is traversed with its fastest dimension
+// bound to an outer loop, so its cache lines are consumed one element per
+// inner-space sweep — the classic transposition-shaped capacity-miss
+// pattern that tiling removes.
+
+func init() {
+	register(Kernel{
+		Name:        "DPSSB",
+		Program:     "BIHAR",
+		Description: "Unnormalized inverse of a forward transform of a complex periodic sequence",
+		Depth:       3,
+		DefaultSize: 60,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			cc2 := &ir.Array{Name: "cc2", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, cc2, ch)
+			// ch(i,j,l) = cc(l,i,j) + cc2(l,i,j); vars v0=l v1=j v2=i.
+			// Both reads walk their fastest dimension with the OUTERMOST
+			// loop: heavy line revisiting across the whole (j,i) plane.
+			return &ir.Nest{
+				Name:  "DPSSB",
+				Loops: []ir.Loop{rect("l", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: cc, Subs: subs(v(0), v(2), v(1))},
+					{Array: cc2, Subs: subs(v(0), v(2), v(1))},
+					{Array: ch, Subs: subs(v(2), v(1), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "DPSSF",
+		Program:     "BIHAR",
+		Description: "Forward transform of a complex periodic sequence",
+		Depth:       3,
+		DefaultSize: 60,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			cc2 := &ir.Array{Name: "cc2", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, cc2, ch)
+			// Forward direction: the WRITE walks its fastest dimension
+			// with the outer loop, the reads stream.
+			return &ir.Nest{
+				Name:  "DPSSF",
+				Loops: []ir.Loop{rect("l", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: cc, Subs: subs(v(2), v(1), v(0))},
+					{Array: cc2, Subs: subs(v(2), v(1), v(0))},
+					{Array: ch, Subs: subs(v(0), v(2), v(1)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "DRADBG1",
+		Program:     "BIHAR",
+		Description: "Backward transform of a real coefficient array, loop 1",
+		Depth:       3,
+		DefaultSize: 60,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			w := &ir.Array{Name: "w", Dims: []int64{n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, ch, w)
+			// ch(i,j,k) = w(j)*cc(k,i,j); vars v0=k v1=j v2=i. The read's
+			// fastest dimension is bound to the OUTERMOST k loop: each of
+			// its lines is consumed one element per (j,i) plane sweep.
+			return &ir.Nest{
+				Name:  "DRADBG1",
+				Loops: []ir.Loop{rect("k", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: cc, Subs: subs(v(0), v(2), v(1))},
+					{Array: w, Subs: subs(v(1))},
+					{Array: ch, Subs: subs(v(2), v(1), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "DRADBG2",
+		Program:     "BIHAR",
+		Description: "Backward transform of a real coefficient array, loop 2",
+		Depth:       3,
+		// The middle-loop line revisits of this kernel need ~2n resident
+		// lines; 108 pushes that past both evaluated caches while staying
+		// clear of cache-size-aligned array strides.
+		DefaultSize: 108,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			w := &ir.Array{Name: "w", Dims: []int64{n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, ch, w)
+			// ch(j,i,k) = ch(j,i,k) + w(k)*cc(j,k,i); vars v0=k v1=j v2=i.
+			// Both 3D arrays have their fastest dimension on the middle
+			// loop.
+			return &ir.Nest{
+				Name:  "DRADBG2",
+				Loops: []ir.Loop{rect("k", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: ch, Subs: subs(v(1), v(2), v(0))},
+					{Array: w, Subs: subs(v(0))},
+					{Array: cc, Subs: subs(v(1), v(0), v(2))},
+					{Array: ch, Subs: subs(v(1), v(2), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "DRADFG1",
+		Program:     "BIHAR",
+		Description: "Forward transform of a real periodic sequence, loop 1",
+		Depth:       3,
+		DefaultSize: 60,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			w := &ir.Array{Name: "w", Dims: []int64{n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, ch, w)
+			// ch(k,j,i) = w(j)*cc(i,j,k): mirror of DRADBG1 — here the
+			// WRITE has its fastest dimension on the outer loop while the
+			// read streams.
+			return &ir.Nest{
+				Name:  "DRADFG1",
+				Loops: []ir.Loop{rect("k", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: cc, Subs: subs(v(2), v(1), v(0))},
+					{Array: w, Subs: subs(v(1))},
+					{Array: ch, Subs: subs(v(0), v(1), v(2)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "DRADFG2",
+		Program:     "BIHAR",
+		Description: "Forward transform of a real periodic sequence, loop 2",
+		Depth:       3,
+		DefaultSize: 60,
+		Build: func(n int64) *ir.Nest {
+			cc := &ir.Array{Name: "cc", Dims: []int64{n, n, n}, Elem: 8}
+			ch := &ir.Array{Name: "ch", Dims: []int64{n, n, n}, Elem: 8}
+			c2 := &ir.Array{Name: "c2", Dims: []int64{n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, cc, ch, c2)
+			// c2(k,j,i) = cc(j,k,i) - ch(i,j,k): two distinct transposed
+			// patterns in one statement.
+			return &ir.Nest{
+				Name:  "DRADFG2",
+				Loops: []ir.Loop{rect("k", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					{Array: cc, Subs: subs(v(1), v(0), v(2))},
+					{Array: ch, Subs: subs(v(2), v(1), v(0))},
+					{Array: c2, Subs: subs(v(0), v(1), v(2)), Write: true},
+				},
+			}
+		},
+	})
+}

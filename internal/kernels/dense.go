@@ -1,0 +1,123 @@
+package kernels
+
+import "repro/internal/ir"
+
+func init() {
+	register(Kernel{
+		Name:        "MM",
+		Program:     "LIVERMORE",
+		Description: "Matrix multiplication (Figure 1)",
+		Depth:       3,
+		Sizes:       []int64{100, 500, 2000},
+		DefaultSize: 500,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{n, n}, Elem: 8}
+			c := &ir.Array{Name: "c", Dims: []int64{n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, b, c)
+			return &ir.Nest{
+				Name:  "MM",
+				Loops: []ir.Loop{rect("i", 1, n), rect("j", 1, n), rect("k", 1, n)},
+				Refs: []ir.Ref{
+					// a(i,j) = a(i,j) + b(i,k)*c(k,j)
+					{Array: a, Subs: subs(v(0), v(1))},
+					{Array: b, Subs: subs(v(0), v(2))},
+					{Array: c, Subs: subs(v(2), v(1))},
+					{Array: a, Subs: subs(v(0), v(1)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:    "MATMUL",
+		Program: "-",
+		Description: "Matrix by vector multiplication, repeated n times " +
+			"(iterative-solver style; the repetition loop restores the " +
+			"paper's 3-deep nest)",
+		Depth:       3,
+		Sizes:       []int64{100, 500, 2000},
+		DefaultSize: 500,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8}
+			x := &ir.Array{Name: "x", Dims: []int64{n}, Elem: 8}
+			y := &ir.Array{Name: "y", Dims: []int64{n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, x, y)
+			return &ir.Nest{
+				Name:  "MATMUL",
+				Loops: []ir.Loop{rect("r", 1, n), rect("j", 1, n), rect("i", 1, n)},
+				Refs: []ir.Ref{
+					// y(i) = y(i) + a(i,j)*x(j), repeated r times; the
+					// j-outer order streams whole columns of a between
+					// successive uses of x(j) and y(i).
+					{Array: y, Subs: subs(v(2))},
+					{Array: a, Subs: subs(v(2), v(1))},
+					{Array: x, Subs: subs(v(1))},
+					{Array: y, Subs: subs(v(2)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "JACOBI3D",
+		Program:     "-",
+		Description: "Partial differential equations solver (3D 7-point Jacobi sweep)",
+		Depth:       3,
+		Sizes:       []int64{20, 100, 200},
+		DefaultSize: 100,
+		Build: func(n int64) *ir.Nest {
+			m := n + 2
+			a := &ir.Array{Name: "a", Dims: []int64{m, m, m}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{m, m, m}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, b)
+			return &ir.Nest{
+				Name:  "JACOBI3D",
+				Loops: []ir.Loop{rect("k", 2, n+1), rect("j", 2, n+1), rect("i", 2, n+1)},
+				Refs: []ir.Ref{
+					// vars: v0=k v1=j v2=i; arrays indexed (i,j,k) so the
+					// innermost loop walks the fastest dimension.
+					{Array: b, Subs: subs(vp(2, -1), v(1), v(0))},
+					{Array: b, Subs: subs(vp(2, 1), v(1), v(0))},
+					{Array: b, Subs: subs(v(2), vp(1, -1), v(0))},
+					{Array: b, Subs: subs(v(2), vp(1, 1), v(0))},
+					{Array: b, Subs: subs(v(2), v(1), vp(0, -1))},
+					{Array: b, Subs: subs(v(2), v(1), vp(0, 1))},
+					{Array: b, Subs: subs(v(2), v(1), v(0))},
+					{Array: a, Subs: subs(v(2), v(1), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "ADI",
+		Program:     "LIVERMORE",
+		Description: "2D ADI integration (row sweep with i-carried recurrence)",
+		Depth:       2,
+		Sizes:       []int64{100, 500, 2000},
+		DefaultSize: 500,
+		Build: func(n int64) *ir.Nest {
+			x := &ir.Array{Name: "x", Dims: []int64{n, n}, Elem: 8}
+			y := &ir.Array{Name: "y", Dims: []int64{n, n}, Elem: 8}
+			z := &ir.Array{Name: "z", Dims: []int64{n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, x, y, z)
+			// Row sweep: the recurrence runs along the OUTER i loop while
+			// the inner j loop walks each row with stride n — every row
+			// of every array is revisited one line-element at a time, so
+			// the intervening footprint (3n lines) dwarfs the cache.
+			return &ir.Nest{
+				Name:  "ADI",
+				Loops: []ir.Loop{rect("i", 2, n), rect("j", 1, n)},
+				Refs: []ir.Ref{
+					// x(i,j) = x(i,j) - y(i,j)*x(i-1,j) - z(i,j)
+					{Array: x, Subs: subs(v(0), v(1))},
+					{Array: y, Subs: subs(v(0), v(1))},
+					{Array: x, Subs: subs(vp(0, -1), v(1))},
+					{Array: z, Subs: subs(v(0), v(1))},
+					{Array: x, Subs: subs(v(0), v(1)), Write: true},
+				},
+			}
+		},
+	})
+}

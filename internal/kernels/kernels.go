@@ -1,0 +1,129 @@
+// Package kernels is the benchmark catalog: every loop nest of the paper's
+// Table 1, reconstructed as affine IR.
+//
+// The original Fortran sources (NAS, BIHAR, LIVERMORE) are not available to
+// this reproduction, so each kernel is an affine reconstruction chosen to
+// match its published description and — more importantly — its miss
+// behaviour class:
+//
+//   - transposition/transform kernels (T2D, T3D*, DPSS*, DRAD*): at least
+//     one reference's fastest-varying array dimension is indexed by an
+//     outer loop, so cache lines are revisited at distances proportional
+//     to inner-space volume — capacity misses that tiling removes;
+//   - stencil/sweep kernels (JACOBI3D, ADI, MATMUL, MM): reuse across an
+//     outer loop whose intervening footprint exceeds the cache;
+//   - conflict kernels (ADD, BTRIX, VPENTA1/2): arrays laid out at
+//     cache-size-aligned bases, so same-subscript references collide in
+//     the same set every iteration — misses tiling cannot cure but
+//     padding can (§4.3 / Table 3).
+//
+// All arrays are column-major REAL*8 (8-byte elements), matching the
+// Fortran layout the CMEs were formulated for.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// Kernel is one catalog entry.
+type Kernel struct {
+	// Name is the paper's kernel name (e.g. "MM", "VPENTA1").
+	Name string
+	// Program is the suite the kernel comes from ("NAS", "BIHAR",
+	// "LIVERMORE", or "-" for the standalone kernels).
+	Program string
+	// Description matches Table 1.
+	Description string
+	// Depth is the nesting depth from Table 1.
+	Depth int
+	// Sizes are the problem sizes evaluated in Figures 8–9 (nil for
+	// kernels the paper runs at a single fixed size).
+	Sizes []int64
+	// DefaultSize is used when the caller passes size 0.
+	DefaultSize int64
+	// ConflictBound marks kernels whose residual misses are conflicts
+	// (the Table-3 set: tiling alone is not enough).
+	ConflictBound bool
+	// Build constructs the loop nest for problem size n.
+	Build func(n int64) *ir.Nest
+}
+
+// Instance builds the kernel at the given size (0 = DefaultSize) and
+// validates it.
+func (k Kernel) Instance(n int64) (*ir.Nest, error) {
+	if n == 0 {
+		n = k.DefaultSize
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("kernels: %s size %d too small", k.Name, n)
+	}
+	nest := k.Build(n)
+	if err := nest.Validate(); err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	return nest, nil
+}
+
+// catalog is populated by the kernel definition files.
+var catalog = map[string]Kernel{}
+
+func register(k Kernel) {
+	if _, dup := catalog[k.Name]; dup {
+		panic("kernels: duplicate " + k.Name)
+	}
+	catalog[k.Name] = k
+}
+
+// Get looks a kernel up by name.
+func Get(name string) (Kernel, bool) {
+	k, ok := catalog[name]
+	return k, ok
+}
+
+// Names returns the catalog names in stable order.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the catalog in stable order.
+func All() []Kernel {
+	names := Names()
+	out := make([]Kernel, len(names))
+	for i, n := range names {
+		out[i] = catalog[n]
+	}
+	return out
+}
+
+// --- shared construction helpers -----------------------------------------
+
+// rect builds a loop with constant bounds [lo, hi].
+func rect(name string, lo, hi int64) ir.Loop {
+	return ir.Loop{Var: name, Lower: expr.Const(lo), Upper: ir.BoundOf(expr.Const(hi)), Step: 1}
+}
+
+// v is shorthand for a plain loop-variable subscript.
+func v(i int) expr.Affine { return expr.Var(i) }
+
+// vp is shorthand for variable+constant.
+func vp(i int, c int64) expr.Affine { return expr.VarPlus(i, c) }
+
+// subs collects subscript expressions.
+func subs(es ...expr.Affine) []expr.Affine { return es }
+
+// lineAlign lays arrays back to back aligned to the 32-byte line size.
+const lineAlign = 32
+
+// cacheAlign lays arrays at 8KB-aligned bases so that equal-subscript
+// references map to the same cache set in both evaluated caches (8KB and
+// 32KB share the alignment factor) — the conflict-kernel layout.
+const cacheAlign = 32 * 1024

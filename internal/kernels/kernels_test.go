@@ -1,0 +1,236 @@
+package kernels
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/cme"
+	"repro/internal/iterspace"
+	"repro/internal/sampling"
+	"repro/internal/tiling"
+	"repro/internal/trace"
+)
+
+// TestCatalogMatchesTable1 checks that every kernel of the paper's Table 1
+// is present with the right nesting depth and program attribution.
+func TestCatalogMatchesTable1(t *testing.T) {
+	want := map[string]struct {
+		program string
+		depth   int
+	}{
+		"T2D":      {"-", 2},
+		"T3DJIK":   {"-", 3},
+		"T3DIKJ":   {"-", 3},
+		"JACOBI3D": {"-", 3},
+		"MATMUL":   {"-", 3},
+		"MM":       {"LIVERMORE", 3},
+		"ADI":      {"LIVERMORE", 2},
+		"ADD":      {"NAS", 4},
+		"BTRIX":    {"NAS", 3},
+		"VPENTA1":  {"NAS", 2},
+		"VPENTA2":  {"NAS", 2},
+		"DPSSB":    {"BIHAR", 3},
+		"DPSSF":    {"BIHAR", 3},
+		"DRADBG1":  {"BIHAR", 3},
+		"DRADBG2":  {"BIHAR", 3},
+		"DRADFG1":  {"BIHAR", 3},
+		"DRADFG2":  {"BIHAR", 3},
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("catalog has %d kernels, Table 1 lists %d", len(All()), len(want))
+	}
+	for name, w := range want {
+		k, ok := Get(name)
+		if !ok {
+			t.Errorf("missing kernel %s", name)
+			continue
+		}
+		if k.Program != w.program {
+			t.Errorf("%s: program %q, want %q", name, k.Program, w.program)
+		}
+		if k.Depth != w.depth {
+			t.Errorf("%s: depth %d, want %d", name, k.Depth, w.depth)
+		}
+		nest, err := k.Instance(0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if nest.Depth() != w.depth {
+			t.Errorf("%s: built nest depth %d, declared %d", name, nest.Depth(), w.depth)
+		}
+	}
+}
+
+// TestFigureSizes: the multi-size kernels carry the sizes of Figures 8–9.
+func TestFigureSizes(t *testing.T) {
+	want := map[string][]int64{
+		"T2D":      {100, 500, 2000},
+		"T3DJIK":   {20, 100, 200},
+		"T3DIKJ":   {20, 100, 200},
+		"JACOBI3D": {20, 100, 200},
+		"MATMUL":   {100, 500, 2000},
+		"MM":       {100, 500, 2000},
+		"ADI":      {100, 500, 2000},
+	}
+	for name, sizes := range want {
+		k, _ := Get(name)
+		if len(k.Sizes) != len(sizes) {
+			t.Fatalf("%s: sizes %v, want %v", name, k.Sizes, sizes)
+		}
+		for i := range sizes {
+			if k.Sizes[i] != sizes[i] {
+				t.Fatalf("%s: sizes %v, want %v", name, k.Sizes, sizes)
+			}
+		}
+	}
+}
+
+// TestAllKernelsAnalyzable: every kernel builds a nest the CME analyzer
+// accepts (rectangular, single-variable subscripts) and produces a finite
+// sampled estimate under both evaluated caches.
+func TestAllKernelsAnalyzable(t *testing.T) {
+	for _, k := range All() {
+		nest, err := k.Instance(0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		box, err := tiling.Box(nest)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, cfg := range []cache.Config{cache.DM8K, cache.DM32K} {
+			an, err := cme.NewAnalyzer(nest, box, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", k.Name, cfg, err)
+			}
+			est := sampling.EstimateMissRatio(an, 64, 0.9, rand.New(rand.NewPCG(1, 2)))
+			if est.MissRatio < 0 || est.MissRatio > 1 {
+				t.Fatalf("%s/%v: ratio %v", k.Name, cfg, est.MissRatio)
+			}
+			if an.CapHits() != 0 {
+				t.Fatalf("%s/%v: walk cap tripped", k.Name, cfg)
+			}
+		}
+	}
+}
+
+// TestKernelsHaveHighReplacementRatios: the paper chose these kernels
+// "because they exhibit a high number of capacity misses" — every kernel
+// must show a substantial replacement ratio untiled at 8KB.
+func TestKernelsHaveHighReplacementRatios(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	for _, k := range All() {
+		nest, err := k.Instance(0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		box, _ := tiling.Box(nest)
+		an, err := cme.NewAnalyzer(nest, box, cache.DM8K)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		est := sampling.EstimateMissRatio(an, sampling.PaperSampleSize, 0.9, rng)
+		// JACOBI3D sits lowest in the paper too (7.2% replacement in
+		// Table 2); 5% still separates these kernels from streaming ones.
+		if est.ReplacementRatio < 0.05 {
+			t.Errorf("%s: untiled replacement ratio only %.1f%% — not a capacity/conflict-bound kernel",
+				k.Name, 100*est.ReplacementRatio)
+		}
+	}
+}
+
+// TestConflictKernelsAreAligned: the Table-3 kernels must have their
+// arrays at 8KB-aliasing base addresses (that is what makes them
+// padding-bound).
+func TestConflictKernelsAreAligned(t *testing.T) {
+	for _, k := range All() {
+		if !k.ConflictBound {
+			continue
+		}
+		nest, err := k.Instance(0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		arrays := nest.Arrays()
+		for _, a := range arrays[1:] {
+			if (a.Base-arrays[0].Base)%(8*1024) != 0 {
+				t.Errorf("%s: arrays %s and %s not cache-aligned", k.Name, arrays[0].Name, a.Name)
+			}
+		}
+	}
+	// Exactly the Table-3 set is marked conflict-bound.
+	wantConflict := map[string]bool{"ADD": true, "BTRIX": true, "VPENTA1": true, "VPENTA2": true}
+	for _, k := range All() {
+		if wantConflict[k.Name] != k.ConflictBound {
+			t.Errorf("%s: ConflictBound = %v", k.Name, k.ConflictBound)
+		}
+	}
+}
+
+func TestInstanceErrors(t *testing.T) {
+	k, _ := Get("MM")
+	if _, err := k.Instance(2); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+	if _, ok := Get("NOPE"); ok {
+		t.Fatal("unknown kernel found")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+// TestAllKernelsLockstepTinySizes: for every catalog kernel at a tiny
+// problem size, the CME point solver agrees with the trace-driven
+// simulator on every single access, untiled and under one tiling.
+func TestAllKernelsLockstepTinySizes(t *testing.T) {
+	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 1}
+	rng := rand.New(rand.NewPCG(13, 29))
+	for _, k := range All() {
+		size := int64(6)
+		if k.Name == "ADD" {
+			size = 4 // 4-deep: keep the trace small
+		}
+		nest, err := k.Instance(size)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		box, err := tiling.Box(nest)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		spaces := []iterspace.Space{box}
+		tile := make([]int64, nest.Depth())
+		for d := range tile {
+			tile[d] = 1 + rng.Int64N(box.Extent(d))
+		}
+		spaces = append(spaces, iterspace.NewTiled(box, tile))
+		for _, sp := range spaces {
+			an, err := cme.NewAnalyzer(nest, sp, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			sim := cachesim.New(cfg)
+			n := 0
+			trace.GenerateSpace(sp, nest, func(p []int64, a trace.Access) bool {
+				want := sim.Access(a.Addr)
+				got := an.Classify(p, a.RefIdx)
+				if got != want {
+					t.Fatalf("%s access %d (ref %d): analyzer %v != simulator %v",
+						k.Name, n, a.RefIdx, got, want)
+				}
+				n++
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// The four NAS kernels are the paper's conflict-bound set (Table 3):
+// their arrays sit at cache-aligned bases, so references with equal
+// subscripts collide in the same cache set on every iteration. Tiling
+// cannot change relative alignment; padding can.
+
+func init() {
+	register(Kernel{
+		Name:          "ADD",
+		Program:       "NAS",
+		Description:   "Addition of update to a matrix (u += rhs, 5-component)",
+		Depth:         4,
+		DefaultSize:   32,
+		ConflictBound: true,
+		Build: func(n int64) *ir.Nest {
+			u := &ir.Array{Name: "u", Dims: []int64{5, n, n, n}, Elem: 8}
+			rhs := &ir.Array{Name: "rhs", Dims: []int64{5, n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, cacheAlign, u, rhs)
+			// m (the component index, the fastest array dimension) is the
+			// OUTERMOST loop, as in the BT solver's add routine: each
+			// memory line is revisited once per m at a distance of the
+			// whole spatial volume — capacity misses tiling shortens —
+			// while u/rhs alignment adds conflicts only padding removes.
+			return &ir.Nest{
+				Name: "ADD",
+				Loops: []ir.Loop{
+					rect("m", 1, 5), rect("k", 1, n), rect("j", 1, n), rect("i", 1, n),
+				},
+				Refs: []ir.Ref{
+					// vars: v0=m v1=k v2=j v3=i; u(m,i,j,k)
+					{Array: u, Subs: subs(v(0), v(3), v(2), v(1))},
+					{Array: rhs, Subs: subs(v(0), v(3), v(2), v(1))},
+					{Array: u, Subs: subs(v(0), v(3), v(2), v(1)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:          "BTRIX",
+		Program:       "NAS",
+		Description:   "Block tri-diagonal solver, backward block sweep",
+		Depth:         3,
+		DefaultSize:   24,
+		ConflictBound: true,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n, n}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{n, n, n}, Elem: 8}
+			c := &ir.Array{Name: "c", Dims: []int64{n, n, n}, Elem: 8}
+			s := &ir.Array{Name: "s", Dims: []int64{n + 1, n, n}, Elem: 8}
+			ir.LayoutArrays(0, cacheAlign, a, b, c, s)
+			// Backward sweep: the innermost loop walks the fastest array
+			// dimension in reverse via the n+1-k subscript. The four
+			// aligned arrays evict each other every iteration (pure
+			// conflicts); there is no long-distance reuse, so padding
+			// alone recovers nearly all misses, as in Table 3.
+			return &ir.Nest{
+				Name:  "BTRIX",
+				Loops: []ir.Loop{rect("j", 1, n), rect("i", 1, n), rect("k", 1, n)},
+				Refs: []ir.Ref{
+					// vars: v0=j v1=i v2=k
+					{Array: a, Subs: subs(v(2), v(1), v(0))},           // a(k,i,j)
+					{Array: b, Subs: subs(v(2), v(1), v(0))},           // b(k,i,j)
+					{Array: c, Subs: subs(v(2), v(1), v(0))},           // c(k,i,j)
+					{Array: s, Subs: subs(revSub(2, n+1), v(1), v(0))}, // s(n+1-k,i,j)
+					{Array: s, Subs: subs(revSub(2, n+2), v(1), v(0))}, // s(n+2-k,i,j)
+					{Array: s, Subs: subs(revSub(2, n+1), v(1), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:          "VPENTA1",
+		Program:       "NAS",
+		Description:   "Invert 3 pentadiagonals simultaneously, loop 1",
+		Depth:         2,
+		DefaultSize:   512,
+		ConflictBound: true,
+		Build:         buildVpenta(4),
+	})
+
+	register(Kernel{
+		Name:          "VPENTA2",
+		Program:       "NAS",
+		Description:   "Invert 3 pentadiagonals simultaneously, loop 2",
+		Depth:         2,
+		DefaultSize:   512,
+		ConflictBound: true,
+		Build:         buildVpenta(7),
+	})
+}
+
+// buildVpenta constructs the VPENTA sweep with the given number of
+// coefficient arrays: x(i,j) = f1(i,j) - f2(i,j)*x(i,j-1) - ... with a
+// j-carried recurrence. The aligned coefficient arrays conflict pairwise
+// (padding's job); the x(i,j-1)/x(i,j-2) reuse spans a footprint larger
+// than the cache (tiling's job) — reproducing VPENTA's Table-3 behaviour
+// where only padding+tiling reaches ~0%.
+func buildVpenta(coeffs int) func(n int64) *ir.Nest {
+	return func(n int64) *ir.Nest {
+		arrays := make([]*ir.Array, 0, coeffs+1)
+		for c := 0; c < coeffs; c++ {
+			arrays = append(arrays, &ir.Array{
+				Name: "f" + string(rune('1'+c)), Dims: []int64{n, n}, Elem: 8,
+			})
+		}
+		x := &ir.Array{Name: "x", Dims: []int64{n, n}, Elem: 8}
+		arrays = append(arrays, x)
+		ir.LayoutArrays(0, cacheAlign, arrays...)
+		refs := make([]ir.Ref, 0, coeffs+3)
+		for _, f := range arrays[:coeffs] {
+			refs = append(refs, ir.Ref{Array: f, Subs: subs(v(1), v(0))}) // f(i,j)
+		}
+		refs = append(refs,
+			ir.Ref{Array: x, Subs: subs(v(1), vp(0, -1))},         // x(i,j-1)
+			ir.Ref{Array: x, Subs: subs(v(1), vp(0, -2))},         // x(i,j-2)
+			ir.Ref{Array: x, Subs: subs(v(1), v(0)), Write: true}, // x(i,j)
+		)
+		name := "VPENTA1"
+		if coeffs > 4 {
+			name = "VPENTA2"
+		}
+		return &ir.Nest{
+			Name:  name,
+			Loops: []ir.Loop{rect("j", 3, n), rect("i", 1, n)},
+			Refs:  refs,
+		}
+	}
+}
+
+// revSub builds the reversed subscript c - v_i (e.g. n+1-k).
+func revSub(i int, c int64) expr.Affine {
+	return vp(i, 0).Scale(-1).AddConst(c)
+}

@@ -1,0 +1,77 @@
+package kernels
+
+import "repro/internal/ir"
+
+func init() {
+	register(Kernel{
+		Name:        "T2D",
+		Program:     "-",
+		Description: "2D matrix transposition",
+		Depth:       2,
+		Sizes:       []int64{100, 500, 2000},
+		DefaultSize: 500,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, b)
+			return &ir.Nest{
+				Name:  "T2D",
+				Loops: []ir.Loop{rect("i", 1, n), rect("j", 1, n)},
+				Refs: []ir.Ref{
+					// a(j,i) = b(i,j): b streams along its slow dimension
+					// (j inner, stride n), a streams along its fast one.
+					{Array: b, Subs: subs(v(0), v(1))},
+					{Array: a, Subs: subs(v(1), v(0)), Write: true},
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "T3DJIK",
+		Program:     "-",
+		Description: "3D matrix transposition a(k,j,i) = b(j,i,k)",
+		Depth:       3,
+		Sizes:       []int64{20, 100, 200},
+		DefaultSize: 100,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n, n}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, b)
+			// Loop order j, i, k (the kernel's name gives the order).
+			return &ir.Nest{
+				Name:  "T3DJIK",
+				Loops: []ir.Loop{rect("j", 1, n), rect("i", 1, n), rect("k", 1, n)},
+				Refs: []ir.Ref{
+					// vars: v0=j v1=i v2=k
+					{Array: b, Subs: subs(v(0), v(1), v(2))},              // b(j,i,k)
+					{Array: a, Subs: subs(v(2), v(0), v(1)), Write: true}, // a(k,j,i)
+				},
+			}
+		},
+	})
+
+	register(Kernel{
+		Name:        "T3DIKJ",
+		Program:     "-",
+		Description: "3D matrix transposition a(k,j,i) = b(i,k,j)",
+		Depth:       3,
+		Sizes:       []int64{20, 100, 200},
+		DefaultSize: 100,
+		Build: func(n int64) *ir.Nest {
+			a := &ir.Array{Name: "a", Dims: []int64{n, n, n}, Elem: 8}
+			b := &ir.Array{Name: "b", Dims: []int64{n, n, n}, Elem: 8}
+			ir.LayoutArrays(0, lineAlign, a, b)
+			// Loop order i, k, j.
+			return &ir.Nest{
+				Name:  "T3DIKJ",
+				Loops: []ir.Loop{rect("i", 1, n), rect("k", 1, n), rect("j", 1, n)},
+				Refs: []ir.Ref{
+					// vars: v0=i v1=k v2=j
+					{Array: b, Subs: subs(v(0), v(1), v(2))},              // b(i,k,j)
+					{Array: a, Subs: subs(v(1), v(2), v(0)), Write: true}, // a(k,j,i)
+				},
+			}
+		},
+	})
+}

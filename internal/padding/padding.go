@@ -1,0 +1,108 @@
+// Package padding implements the array-padding transformation the paper
+// combines with tiling for kernels whose residual misses are conflicts
+// (§4.3, reference [28]): inter-array padding shifts an array's base
+// address, intra-array padding enlarges its leading dimension. Padding
+// parameters are expressed in elements and searched with the same genetic
+// algorithm as tile sizes.
+package padding
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Plan holds the padding applied to each distinct array of a nest, in
+// first-use order (ir.Nest.Arrays). Units are array elements.
+type Plan struct {
+	// Inter[i] elements are added before array i (base-address shift).
+	Inter []int64
+	// Intra[i] elements are added to array i's leading (fastest) dimension.
+	Intra []int64
+}
+
+// Zero returns the identity plan for the nest.
+func Zero(nest *ir.Nest) Plan {
+	n := len(nest.Arrays())
+	return Plan{Inter: make([]int64, n), Intra: make([]int64, n)}
+}
+
+// Validate checks the plan against the nest.
+func (p Plan) Validate(nest *ir.Nest) error {
+	arrays := nest.Arrays()
+	if len(p.Inter) != len(arrays) || len(p.Intra) != len(arrays) {
+		return fmt.Errorf("padding: plan covers %d/%d arrays, nest has %d",
+			len(p.Inter), len(p.Intra), len(arrays))
+	}
+	for i := range p.Inter {
+		if p.Inter[i] < 0 || p.Intra[i] < 0 {
+			return fmt.Errorf("padding: negative padding for array %s", arrays[i].Name)
+		}
+	}
+	return nil
+}
+
+// Apply returns a deep copy of the nest with the plan's padding applied:
+// array i gets BasePad += Inter[i]·Elem and Pad[fastest] += Intra[i].
+// The original nest and its arrays are not modified.
+func Apply(nest *ir.Nest, p Plan) (*ir.Nest, error) {
+	if err := p.Validate(nest); err != nil {
+		return nil, err
+	}
+	arrays := nest.Arrays()
+	clone := make(map[*ir.Array]*ir.Array, len(arrays))
+	for i, a := range arrays {
+		c := *a
+		c.Dims = append([]int64(nil), a.Dims...)
+		if a.Pad != nil {
+			c.Pad = append([]int64(nil), a.Pad...)
+		} else {
+			c.Pad = make([]int64, len(a.Dims))
+		}
+		c.BasePad += p.Inter[i] * a.Elem
+		c.Pad[fastestDim(a)] += p.Intra[i]
+		clone[a] = &c
+	}
+	out := &ir.Nest{
+		Name:  nest.Name + "_padded",
+		Loops: append([]ir.Loop(nil), nest.Loops...),
+		Refs:  make([]ir.Ref, len(nest.Refs)),
+	}
+	for i := range nest.Refs {
+		r := nest.Refs[i]
+		r.Array = clone[r.Array]
+		out.Refs[i] = r
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("padding: produced invalid nest: %w", err)
+	}
+	return out, nil
+}
+
+// fastestDim returns the dimension with the smallest stride.
+func fastestDim(a *ir.Array) int {
+	strides := a.Strides()
+	best := 0
+	for d := 1; d < len(strides); d++ {
+		if strides[d] < strides[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+// SearchRanges returns sensible genome ranges for the nest under a cache
+// with the given line size and total size (both in bytes): inter-array
+// padding up to one cache's worth of elements (enough to move any array to
+// any set alignment) and intra-array padding up to a few lines' worth of
+// elements.
+func SearchRanges(nest *ir.Nest, cacheSize, lineSize int64) (interMax, intraMax []int64) {
+	arrays := nest.Arrays()
+	interMax = make([]int64, len(arrays))
+	intraMax = make([]int64, len(arrays))
+	for i, a := range arrays {
+		interMax[i] = cacheSize / a.Elem
+		intraMax[i] = 8 * lineSize / a.Elem
+	}
+	return interMax, intraMax
+}

@@ -1,0 +1,151 @@
+package padding
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cachesim"
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// pingpong builds a kernel whose two arrays alias perfectly in a small
+// cache: do i=1,n { read x(i); read y(i); write x(i) } with y exactly one
+// cache-size after x.
+func pingpong(n, cacheSize int64) *ir.Nest {
+	x := &ir.Array{Name: "x", Dims: []int64{n}, Elem: 8, Base: 0}
+	y := &ir.Array{Name: "y", Dims: []int64{n}, Elem: 8, Base: cacheSize}
+	return &ir.Nest{
+		Name: "pingpong",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: x, Subs: []expr.Affine{expr.Var(0)}},
+			{Array: y, Subs: []expr.Affine{expr.Var(0)}},
+			{Array: x, Subs: []expr.Affine{expr.Var(0)}, Write: true},
+		},
+	}
+}
+
+func TestZeroPlanIsIdentity(t *testing.T) {
+	nest := pingpong(64, 512)
+	padded, err := Apply(nest, Zero(nest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nest.Refs {
+		a := nest.Refs[i].Address([]int64{17})
+		b := padded.Refs[i].Address([]int64{17})
+		if a != b {
+			t.Fatalf("zero plan moved ref %d: %d -> %d", i, a, b)
+		}
+	}
+}
+
+func TestInterPaddingRemovesConflicts(t *testing.T) {
+	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 1}
+	nest := pingpong(64, cfg.Size)
+	before := cachesim.SimulateNest(nest, cfg)
+	if before.ReplacementRatio() < 0.5 {
+		t.Fatalf("expected heavy ping-pong, got %v", before)
+	}
+	// Shift y by half a cache: conflicts vanish.
+	plan := Zero(nest)
+	plan.Inter[1] = cfg.Size / 2 / 8
+	padded, err := Apply(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cachesim.SimulateNest(padded, cfg)
+	if after.Replacement != 0 {
+		t.Fatalf("padding left %d replacement misses", after.Replacement)
+	}
+	// Compulsory misses unchanged by padding of whole lines.
+	if after.Compulsory != before.Compulsory {
+		t.Fatalf("compulsory changed: %d -> %d", before.Compulsory, after.Compulsory)
+	}
+	// Original nest untouched.
+	again := cachesim.SimulateNest(nest, cfg)
+	if again != before {
+		t.Fatal("Apply mutated the original nest")
+	}
+}
+
+func TestIntraPaddingChangesLeadingDim(t *testing.T) {
+	n := int64(8)
+	a := &ir.Array{Name: "a", Dims: []int64{n, n}, Elem: 8, Base: 0}
+	nest := &ir.Nest{
+		Name: "col",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+			{Var: "j", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: a, Subs: []expr.Affine{expr.Var(0), expr.Var(1)}, Write: true},
+		},
+	}
+	plan := Zero(nest)
+	plan.Intra[0] = 3 // leading dimension 8 -> 11
+	padded, err := Apply(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a(1,2) moves from 8*8 to 11*8 bytes past base.
+	got := padded.Refs[0].Address([]int64{1, 2})
+	if got != 11*8 {
+		t.Fatalf("padded a(1,2) at %d, want 88", got)
+	}
+	// Shape unchanged: a(8,8) still addressable.
+	if _, err := Apply(nest, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedArrayClonedOnce(t *testing.T) {
+	// x appears twice; padding must keep both refs pointing at the SAME
+	// clone.
+	nest := pingpong(16, 512)
+	plan := Zero(nest)
+	plan.Inter[0] = 4
+	padded, err := Apply(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Refs[0].Array != padded.Refs[2].Array {
+		t.Fatal("shared array cloned into distinct copies")
+	}
+	if padded.Refs[0].Array == nest.Refs[0].Array {
+		t.Fatal("clone aliases the original array")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	nest := pingpong(16, 512)
+	short := Plan{Inter: []int64{1}, Intra: []int64{1}}
+	if err := short.Validate(nest); err == nil {
+		t.Fatal("short plan accepted")
+	}
+	neg := Zero(nest)
+	neg.Intra[0] = -1
+	if err := neg.Validate(nest); err == nil {
+		t.Fatal("negative padding accepted")
+	}
+	if _, err := Apply(nest, neg); err == nil {
+		t.Fatal("Apply accepted invalid plan")
+	}
+}
+
+func TestSearchRanges(t *testing.T) {
+	nest := pingpong(16, 512)
+	inter, intra := SearchRanges(nest, 8192, 32)
+	if len(inter) != 2 || len(intra) != 2 {
+		t.Fatalf("ranges: %v %v", inter, intra)
+	}
+	if inter[0] != 1024 { // 8192/8
+		t.Fatalf("interMax = %d", inter[0])
+	}
+	if intra[0] != 32 { // 8*32/8
+		t.Fatalf("intraMax = %d", intra[0])
+	}
+}

@@ -1,0 +1,20 @@
+package parser
+
+import "testing"
+
+// FuzzParse is a native fuzz entry for the textual front end: any input
+// must either parse into a valid nest or return an error — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(transposeSrc)
+	f.Add("array a(4) real8\ndo i = 1, 4\n read a(i)\nend\n")
+	f.Add("do i = 1, 3\nend")
+	f.Add("array a(10,10) real4 pad(1,0) align 64\ndo i = 1, 9\n do j = 1, 9\n  write a(i+1, 2*j-1)\n end\nend")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseString(src, "fuzz")
+		if err == nil {
+			if verr := prog.Nest.Validate(); verr != nil {
+				t.Fatalf("accepted invalid nest: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,393 @@
+// Package parser reads textual loop-nest descriptions into the IR — the
+// reproduction's stand-in for the paper's Polaris/Ictineo Fortran front
+// end. The format mirrors the pseudo-Fortran the paper prints:
+//
+//	# comment
+//	array a(100,100) real8
+//	array b(100,100) real8 pad(3,0) align 8192
+//	do i = 1, 100
+//	  do j = 1, 100
+//	    read  b(i, j)
+//	    write a(j, i)
+//	  end
+//	end
+//
+// Arrays are column-major (Fortran order) and are laid out back to back in
+// declaration order, each aligned to its "align" attribute (default: the
+// 32-byte line size). Subscripts are affine expressions over the loop
+// variables: sums of integer constants and optionally-scaled variables,
+// e.g. "i", "j+1", "2*k-1", "101-i".
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// Program is a parsed kernel file.
+type Program struct {
+	Nest   *ir.Nest
+	Arrays []*ir.Array
+}
+
+// Parse reads a kernel description.
+func Parse(r io.Reader, name string) (*Program, error) {
+	p := &parser{
+		name:   name,
+		arrays: map[string]*ir.Array{},
+		vars:   map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		p.lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, p.lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.depth() != 0 {
+		return nil, fmt.Errorf("%s: %d unclosed do loop(s)", name, p.depth())
+	}
+	if p.nest == nil {
+		return nil, fmt.Errorf("%s: no loop nest", name)
+	}
+	if err := p.nest.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Program{Nest: p.nest, Arrays: p.order}, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, name string) (*Program, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+type parser struct {
+	name   string
+	lineNo int
+
+	arrays   map[string]*ir.Array
+	order    []*ir.Array
+	nextAddr int64
+
+	vars  map[string]int
+	loops []ir.Loop
+	refs  []ir.Ref
+	nest  *ir.Nest
+	open  int // currently open do loops
+	body  bool
+}
+
+func (p *parser) depth() int { return p.open }
+
+func (p *parser) line(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "array":
+		return p.array(line)
+	case "do":
+		return p.do_(line)
+	case "end", "enddo", "endo":
+		if p.open == 0 {
+			return fmt.Errorf("end without open do")
+		}
+		if p.open == len(p.loops) && len(p.refs) == 0 {
+			return fmt.Errorf("loop body has no references")
+		}
+		p.open--
+		if p.open == 0 {
+			if p.nest != nil {
+				return fmt.Errorf("multiple top-level loop nests")
+			}
+			p.nest = &ir.Nest{Name: p.name, Loops: p.loops, Refs: p.refs}
+		}
+		return nil
+	case "read", "write":
+		return p.ref(fields[0] == "write", line)
+	default:
+		return fmt.Errorf("unknown statement %q", fields[0])
+	}
+}
+
+// array NAME(d1,d2,...) [real8|real4] [pad(p1,...)] [align N] [base N]
+func (p *parser) array(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "array"))
+	name, dims, rest, err := nameAndList(rest)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.arrays[name]; dup {
+		return fmt.Errorf("array %s redeclared", name)
+	}
+	a := &ir.Array{Name: name, Elem: 8, Layout: ir.ColumnMajor}
+	for _, d := range dims {
+		v, err := strconv.ParseInt(d, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad dimension %q", d)
+		}
+		a.Dims = append(a.Dims, v)
+	}
+	align := int64(32)
+	toks := strings.Fields(rest)
+	for i := 0; i < len(toks); i++ {
+		switch {
+		case toks[i] == "real8":
+			a.Elem = 8
+		case toks[i] == "real4":
+			a.Elem = 4
+		case strings.HasPrefix(toks[i], "pad("):
+			_, pads, _, err := nameAndList(toks[i])
+			if err != nil {
+				return fmt.Errorf("bad pad: %v", err)
+			}
+			if len(pads) != len(a.Dims) {
+				return fmt.Errorf("pad rank %d != array rank %d", len(pads), len(a.Dims))
+			}
+			a.Pad = make([]int64, len(pads))
+			for d, s := range pads {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil || v < 0 {
+					return fmt.Errorf("bad pad %q", s)
+				}
+				a.Pad[d] = v
+			}
+		case toks[i] == "align" && i+1 < len(toks):
+			i++
+			v, err := strconv.ParseInt(toks[i], 10, 64)
+			if err != nil || v < 1 || v&(v-1) != 0 {
+				return fmt.Errorf("bad align %q", toks[i])
+			}
+			align = v
+		case toks[i] == "base" && i+1 < len(toks):
+			i++
+			v, err := strconv.ParseInt(toks[i], 10, 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad base %q", toks[i])
+			}
+			align = 0
+			a.Base = v
+		default:
+			return fmt.Errorf("unknown array attribute %q", toks[i])
+		}
+	}
+	if align > 0 {
+		a.Base = (p.nextAddr + align - 1) &^ (align - 1)
+	}
+	if a.Base < p.nextAddr && align > 0 {
+		return fmt.Errorf("internal layout error")
+	}
+	end := a.Base + a.SizeBytes()
+	if end > p.nextAddr {
+		p.nextAddr = end
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	p.arrays[name] = a
+	p.order = append(p.order, a)
+	return nil
+}
+
+// do VAR = LO, HI
+func (p *parser) do_(line string) error {
+	if p.nest != nil {
+		return fmt.Errorf("multiple top-level loop nests")
+	}
+	if len(p.refs) > 0 {
+		return fmt.Errorf("do after body references (nest must be perfect)")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "do"))
+	eq := strings.IndexByte(rest, '=')
+	if eq < 0 {
+		return fmt.Errorf("malformed do %q", line)
+	}
+	v := strings.TrimSpace(rest[:eq])
+	if !isIdent(v) {
+		return fmt.Errorf("bad loop variable %q", v)
+	}
+	if _, dup := p.vars[v]; dup {
+		return fmt.Errorf("loop variable %s reused", v)
+	}
+	bounds := strings.Split(rest[eq+1:], ",")
+	if len(bounds) != 2 {
+		return fmt.Errorf("do needs 'var = lo, hi'")
+	}
+	lo, err := strconv.ParseInt(strings.TrimSpace(bounds[0]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad lower bound %q", bounds[0])
+	}
+	hi, err := strconv.ParseInt(strings.TrimSpace(bounds[1]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad upper bound %q", bounds[1])
+	}
+	if lo > hi {
+		return fmt.Errorf("empty loop %s = %d, %d", v, lo, hi)
+	}
+	p.vars[v] = len(p.loops)
+	p.loops = append(p.loops, ir.Loop{
+		Var: v, Lower: expr.Const(lo), Upper: ir.BoundOf(expr.Const(hi)), Step: 1,
+	})
+	p.open++
+	return nil
+}
+
+// read|write NAME(e1, e2, ...)
+func (p *parser) ref(write bool, line string) error {
+	if p.open == 0 {
+		return fmt.Errorf("reference outside loops")
+	}
+	if p.open != len(p.loops) {
+		return fmt.Errorf("reference must be in the innermost loop (perfect nest)")
+	}
+	word := "read"
+	if write {
+		word = "write"
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, word))
+	name, subs, tail, err := nameAndList(rest)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(tail) != "" {
+		return fmt.Errorf("trailing input %q", tail)
+	}
+	arr, ok := p.arrays[name]
+	if !ok {
+		return fmt.Errorf("unknown array %s", name)
+	}
+	if len(subs) != arr.Rank() {
+		return fmt.Errorf("%s has rank %d, got %d subscripts", name, arr.Rank(), len(subs))
+	}
+	r := ir.Ref{Array: arr, Write: write}
+	for _, s := range subs {
+		e, err := p.affine(s)
+		if err != nil {
+			return fmt.Errorf("subscript %q: %w", s, err)
+		}
+		r.Subs = append(r.Subs, e)
+	}
+	p.refs = append(p.refs, r)
+	return nil
+}
+
+// affine parses "2*i - j + 3" style expressions over declared variables.
+func (p *parser) affine(s string) (expr.Affine, error) {
+	out := expr.Const(0)
+	// Tokenise into signed terms.
+	s = strings.ReplaceAll(s, " ", "")
+	if s == "" {
+		return out, fmt.Errorf("empty expression")
+	}
+	sign := int64(1)
+	i := 0
+	for i < len(s) {
+		switch s[i] {
+		case '+':
+			sign = 1
+			i++
+			continue
+		case '-':
+			sign = -1
+			i++
+			continue
+		}
+		// term: [num][*ident] | ident
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		coef := int64(1)
+		if j > i {
+			v, err := strconv.ParseInt(s[i:j], 10, 64)
+			if err != nil {
+				return out, err
+			}
+			coef = v
+			i = j
+			if i < len(s) && s[i] == '*' {
+				i++
+			} else {
+				out = out.AddConst(sign * coef)
+				sign = 1
+				continue
+			}
+		}
+		j = i
+		for j < len(s) && isIdentByte(s[j]) {
+			j++
+		}
+		if j == i {
+			return out, fmt.Errorf("expected identifier at %q", s[i:])
+		}
+		name := s[i:j]
+		idx, ok := p.vars[name]
+		if !ok {
+			return out, fmt.Errorf("unknown loop variable %q", name)
+		}
+		out = out.Add(expr.Term(idx, sign*coef, 0))
+		sign = 1
+		i = j
+	}
+	return out, nil
+}
+
+// nameAndList parses "name(item1,item2,...)" and returns the remainder.
+func nameAndList(s string) (name string, items []string, rest string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 {
+		return "", nil, "", fmt.Errorf("expected name(...) in %q", s)
+	}
+	name = strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return "", nil, "", fmt.Errorf("bad name %q", name)
+	}
+	depth := 0
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				inner := s[open+1 : i]
+				for _, part := range strings.Split(inner, ",") {
+					items = append(items, strings.TrimSpace(part))
+				}
+				return name, items, s[i+1:], nil
+			}
+		}
+	}
+	return "", nil, "", fmt.Errorf("unbalanced parentheses in %q", s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+	}
+	return s[0] < '0' || s[0] > '9'
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

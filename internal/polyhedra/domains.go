@@ -1,0 +1,200 @@
+package polyhedra
+
+import "math"
+
+// Domains computes a per-variable integer interval enclosing the polyhedron
+// by iterated interval-constraint propagation (the polynomial-time domain
+// computation §2.3 describes for replacement polyhedra, in place of vertex
+// enumeration). The result is a sound over-approximation: every integer
+// point of the system lies within the returned intervals. It reports
+// ok=false when propagation proves the system empty.
+func (s *System) Domains() (doms []Interval, ok bool) {
+	doms = make([]Interval, s.NumVars)
+	for i := range doms {
+		doms[i] = Interval{math.MinInt64, math.MaxInt64}
+	}
+	// Propagate to a fixpoint, bounded to avoid slow convergence on
+	// degenerate systems (each pass can only shrink intervals).
+	const maxPasses = 64
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, c := range s.Cons {
+			if !s.propagateCons(c, doms, &changed) {
+				return doms, false
+			}
+			if c.Kind == EQ {
+				// e = 0 also implies -e >= 0.
+				neg := Constraint{GE, c.Expr.Scale(-1)}
+				if !s.propagateCons(neg, doms, &changed) {
+					return doms, false
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return doms, true
+}
+
+// propagateCons tightens doms using constraint c viewed as c.Expr >= 0.
+// Returns false if some domain becomes empty.
+func (s *System) propagateCons(c Constraint, doms []Interval, changed *bool) bool {
+	// For a0 + Σ ai·xi >= 0, bound each xi given interval bounds on the
+	// other terms:
+	//   ai > 0: xi >= ceil( (-a0 - maxRest) / ai )
+	//   ai < 0: xi <= floor( (a0 + maxRest) / -ai ) where maxRest uses the
+	//   other terms' maxima.
+	for i := 0; i < s.NumVars; i++ {
+		ai := c.Expr.Coeff(i)
+		if ai == 0 {
+			continue
+		}
+		// maxRest = a0 + Σ_{j≠i} max(aj·xj) over the domains.
+		maxRest, finite := c.Expr.Const, true
+		for j := 0; j < s.NumVars && finite; j++ {
+			if j == i {
+				continue
+			}
+			aj := c.Expr.Coeff(j)
+			if aj == 0 {
+				continue
+			}
+			var ext int64
+			if aj > 0 {
+				ext = doms[j].Hi
+			} else {
+				ext = doms[j].Lo
+			}
+			if ext == math.MaxInt64 || ext == math.MinInt64 {
+				finite = false
+				break
+			}
+			maxRest += aj * ext
+		}
+		if !finite {
+			continue
+		}
+		// ai·xi >= -maxRest
+		if ai > 0 {
+			lo := ceilDiv(-maxRest, ai)
+			if lo > doms[i].Lo {
+				doms[i].Lo = lo
+				*changed = true
+			}
+		} else {
+			hi := floorDiv(maxRest, -ai)
+			if hi < doms[i].Hi {
+				doms[i].Hi = hi
+				*changed = true
+			}
+		}
+		if doms[i].Empty() {
+			return false
+		}
+	}
+	// Pure-constant constraint: must hold outright.
+	if c.Expr.NumVars() == 0 {
+		if c.Kind == EQ && c.Expr.Const != 0 {
+			return false
+		}
+		if c.Kind == GE && c.Expr.Const < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilDiv(a, b int64) int64 {
+	// b > 0.
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	// b > 0.
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// CountPoints counts the integer points of the system by enumerating the
+// (finite) domain box and testing each point, up to limit points examined.
+// Variables that appear in no constraint (e.g. after substitution) are
+// projected out — they contribute a factor of one, not infinity. It reports
+// ok=false when a constrained domain is unbounded or the box exceeds limit.
+// Intended for the small polyhedra CMEs produce and for tests.
+func (s *System) CountPoints(limit uint64) (count uint64, ok bool) {
+	doms, feasible := s.Domains()
+	if !feasible {
+		return 0, true
+	}
+	used := make([]bool, s.NumVars)
+	for _, v := range s.Vars() {
+		used[v] = true
+	}
+	for i := range doms {
+		if !used[i] {
+			doms[i] = Interval{0, 0}
+		}
+	}
+	total := uint64(1)
+	for _, d := range doms {
+		if d.Lo == math.MinInt64 || d.Hi == math.MaxInt64 {
+			return 0, false
+		}
+		sz := d.Size()
+		if sz == 0 {
+			return 0, true
+		}
+		if total > limit/sz+1 {
+			return 0, false
+		}
+		total *= sz
+		if total > limit {
+			return 0, false
+		}
+	}
+	pt := make([]int64, s.NumVars)
+	for i, d := range doms {
+		pt[i] = d.Lo
+	}
+	for {
+		if s.Satisfied(pt) {
+			count++
+		}
+		// Advance odometer.
+		i := s.NumVars - 1
+		for ; i >= 0; i-- {
+			if pt[i] < doms[i].Hi {
+				pt[i]++
+				break
+			}
+			pt[i] = doms[i].Lo
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return count, true
+}
+
+// IsEmpty decides whether the system has no integer points, using exact
+// Fourier–Motzkin elimination for the real relaxation plus a final
+// single-variable integrality check. For CME polyhedra (whose constraint
+// matrices are unimodular-ish box constraints) the relaxation answer is
+// exact; a non-empty relaxation with no integer point can only arise from
+// equality constraints with non-unit coefficients, which CountPoints
+// handles exactly when domains are finite.
+func (s *System) IsEmpty() bool {
+	// Fast path: finite small box -> exact enumeration.
+	if n, ok := s.CountPoints(1 << 16); ok {
+		return n == 0
+	}
+	return fmEmpty(s)
+}

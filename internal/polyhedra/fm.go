@@ -1,0 +1,78 @@
+package polyhedra
+
+import "math/big"
+
+// fmEmpty decides emptiness of the real relaxation of the system by exact
+// Fourier–Motzkin elimination over the rationals. A "false" answer means
+// the relaxation is non-empty; callers that need integer exactness should
+// prefer CountPoints when the domains are finite.
+func fmEmpty(s *System) bool {
+	// Convert to a list of rational GE rows: row · (1, x1..xn) >= 0,
+	// expanding equalities into two inequalities.
+	type row []*big.Rat // row[0] = const, row[1..] = coefficients
+	mkRow := func(c Constraint, neg bool) row {
+		r := make(row, s.NumVars+1)
+		sign := int64(1)
+		if neg {
+			sign = -1
+		}
+		r[0] = new(big.Rat).SetInt64(sign * c.Expr.Const)
+		for i := 0; i < s.NumVars; i++ {
+			r[i+1] = new(big.Rat).SetInt64(sign * c.Expr.Coeff(i))
+		}
+		return r
+	}
+	var rows []row
+	for _, c := range s.Cons {
+		rows = append(rows, mkRow(c, false))
+		if c.Kind == EQ {
+			rows = append(rows, mkRow(c, true))
+		}
+	}
+
+	for v := 1; v <= s.NumVars; v++ {
+		var pos, neg, zero []row
+		for _, r := range rows {
+			switch r[v].Sign() {
+			case 1:
+				pos = append(pos, r)
+			case -1:
+				neg = append(neg, r)
+			default:
+				zero = append(zero, r)
+			}
+		}
+		rows = zero
+		// Combine each (lower bound, upper bound) pair: from p (xv >= Lp)
+		// and n (xv <= Un), derive Un - Lp >= 0 scaled appropriately:
+		// p + (|p_v|/|n_v|)·n but simplest exact form: n_scaled*p + p_scaled*n.
+		for _, p := range pos {
+			for _, n := range neg {
+				nr := make(row, s.NumVars+1)
+				pv := p[v]                   // > 0
+				nv := new(big.Rat).Neg(n[v]) // > 0
+				for i := 0; i <= s.NumVars; i++ {
+					// nv*p[i] + pv*n[i]
+					a := new(big.Rat).Mul(nv, p[i])
+					b := new(big.Rat).Mul(pv, n[i])
+					nr[i] = a.Add(a, b)
+				}
+				rows = append(rows, nr)
+				// Guard against FM blowup: CME systems are tiny, so a
+				// large intermediate set signals misuse.
+				if len(rows) > 4096 {
+					// Fall back to "unknown, assume non-empty" — callers
+					// treat non-empty conservatively (a potential miss).
+					return false
+				}
+			}
+		}
+	}
+	// All variables eliminated: rows are constant constraints.
+	for _, r := range rows {
+		if r[0].Sign() < 0 {
+			return true // contradiction: empty
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package polyhedra
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestSatisfied(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 1, 5)
+	s.AddRange(1, 1, 5)
+	s.AddEQ(expr.Var(0).Sub(expr.Var(1))) // x == y
+	if !s.Satisfied([]int64{3, 3}) {
+		t.Fatal("diagonal point rejected")
+	}
+	if s.Satisfied([]int64{3, 4}) || s.Satisfied([]int64{0, 0}) {
+		t.Fatal("invalid point accepted")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 1, 5)
+	s.AddEQ(expr.Var(0).Sub(expr.Var(1)))
+	s2 := s.Substitute(1, 3)
+	// Now x in [1,5] and x == 3.
+	n, ok := s2.CountPoints(1000)
+	if !ok || n != 1 {
+		t.Fatalf("count after substitution = %d ok=%v", n, ok)
+	}
+	// The original is unchanged.
+	if n0, _ := s.CountPoints(1000); n0 != 5 {
+		t.Fatalf("original mutated: count = %d", n0)
+	}
+}
+
+func TestDomainsBox(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 2, 9)
+	s.AddRange(1, -3, 3)
+	doms, ok := s.Domains()
+	if !ok {
+		t.Fatal("box reported empty")
+	}
+	if doms[0] != (Interval{2, 9}) || doms[1] != (Interval{-3, 3}) {
+		t.Fatalf("domains = %v", doms)
+	}
+}
+
+func TestDomainsPropagation(t *testing.T) {
+	// x in [0,10], y in [0,10], x + y <= 4 -> both domains shrink to [0,4].
+	s := NewSystem(2)
+	s.AddRange(0, 0, 10)
+	s.AddRange(1, 0, 10)
+	s.AddGE(expr.Const(4).Sub(expr.Var(0)).Sub(expr.Var(1)))
+	doms, ok := s.Domains()
+	if !ok {
+		t.Fatal("feasible system reported empty")
+	}
+	if doms[0].Hi != 4 || doms[1].Hi != 4 {
+		t.Fatalf("domains = %v, want Hi=4", doms)
+	}
+	// Equality x - 2y == 0 with x in [1,9] forces y in [1,4].
+	s2 := NewSystem(2)
+	s2.AddRange(0, 1, 9)
+	s2.AddRange(1, math.MinInt32, math.MaxInt32)
+	s2.AddEQ(expr.Var(0).Sub(expr.Var(1).Scale(2)))
+	doms2, ok := s2.Domains()
+	if !ok {
+		t.Fatal("feasible system reported empty")
+	}
+	if doms2[1].Lo != 1 || doms2[1].Hi != 4 {
+		t.Fatalf("y domain = %v, want [1,4]", doms2[1])
+	}
+}
+
+func TestDomainsDetectEmpty(t *testing.T) {
+	s := NewSystem(1)
+	s.AddRange(0, 5, 10)
+	s.AddGE(expr.Term(0, -1, 3)) // x <= 3
+	if _, ok := s.Domains(); ok {
+		t.Fatal("empty system not detected")
+	}
+	// Constant contradiction.
+	s2 := NewSystem(1)
+	s2.AddGE(expr.Const(-1))
+	if _, ok := s2.Domains(); ok {
+		t.Fatal("constant contradiction not detected")
+	}
+}
+
+func TestCountPoints(t *testing.T) {
+	// Triangle x,y >= 0, x+y <= 3: 10 integer points.
+	s := NewSystem(2)
+	s.AddGE(expr.Var(0))
+	s.AddGE(expr.Var(1))
+	s.AddGE(expr.Const(3).Sub(expr.Var(0)).Sub(expr.Var(1)))
+	n, ok := s.CountPoints(1000)
+	if !ok || n != 10 {
+		t.Fatalf("triangle count = %d ok=%v, want 10", n, ok)
+	}
+	// Diophantine line: 2x == y, x in [0,5], y in [0,10]: 6 points.
+	s2 := NewSystem(2)
+	s2.AddRange(0, 0, 5)
+	s2.AddRange(1, 0, 10)
+	s2.AddEQ(expr.Var(0).Scale(2).Sub(expr.Var(1)))
+	if n, ok := s2.CountPoints(1000); !ok || n != 6 {
+		t.Fatalf("line count = %d ok=%v, want 6", n, ok)
+	}
+}
+
+func TestCountPointsLimit(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 0, 999)
+	s.AddRange(1, 0, 999)
+	if _, ok := s.CountPoints(100); ok {
+		t.Fatal("limit not enforced")
+	}
+	// Unbounded domain.
+	s2 := NewSystem(1)
+	s2.AddGE(expr.Var(0)) // x >= 0, no upper bound
+	if _, ok := s2.CountPoints(100); ok {
+		t.Fatal("unbounded domain not reported")
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	// Feasible box.
+	s := NewSystem(2)
+	s.AddRange(0, 1, 3)
+	s.AddRange(1, 1, 3)
+	if s.IsEmpty() {
+		t.Fatal("feasible box reported empty")
+	}
+	// x >= 4 and x <= 2.
+	s2 := NewSystem(1)
+	s2.AddGE(expr.VarPlus(0, -4))
+	s2.AddGE(expr.Term(0, -1, 2))
+	if !s2.IsEmpty() {
+		t.Fatal("infeasible system not detected")
+	}
+	// Unbounded but feasible: x >= 0 (FM path).
+	s3 := NewSystem(1)
+	s3.AddGE(expr.Var(0))
+	if s3.IsEmpty() {
+		t.Fatal("unbounded feasible system reported empty")
+	}
+	// Unbounded infeasible over the reals: x >= 1, -x >= 0 (FM path,
+	// plus a large second variable to defeat enumeration).
+	s4 := NewSystem(2)
+	s4.AddGE(expr.VarPlus(0, -1))
+	s4.AddGE(expr.Var(0).Scale(-1))
+	s4.AddGE(expr.Var(1)) // y >= 0 unbounded
+	if !s4.IsEmpty() {
+		t.Fatal("FM failed to detect real infeasibility")
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor int64 }{
+		{7, 2, 4, 3},
+		{-7, 2, -3, -4},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 7, 1, 0},
+		{-1, 7, 0, -1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+	}
+}
+
+// Property: on random bounded systems, CountPoints agrees with brute-force
+// enumeration over a fixed box, and Domains never excludes a feasible point.
+func TestCountAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 37))
+	for iter := 0; iter < 150; iter++ {
+		nv := 1 + int(r.Int64N(3))
+		s := NewSystem(nv)
+		for i := 0; i < nv; i++ {
+			s.AddRange(i, 0, 6)
+		}
+		ncons := 1 + int(r.Int64N(3))
+		for c := 0; c < ncons; c++ {
+			e := expr.Const(r.Int64N(13) - 6)
+			for i := 0; i < nv; i++ {
+				e = e.Add(expr.Term(i, r.Int64N(5)-2, 0))
+			}
+			if r.Int64N(4) == 0 {
+				s.AddEQ(e)
+			} else {
+				s.AddGE(e)
+			}
+		}
+		// Brute force over the box.
+		var want uint64
+		pt := make([]int64, nv)
+		var rec func(d int)
+		rec = func(d int) {
+			if d == nv {
+				if s.Satisfied(pt) {
+					want++
+				}
+				return
+			}
+			for v := int64(0); v <= 6; v++ {
+				pt[d] = v
+				rec(d + 1)
+			}
+		}
+		rec(0)
+		got, ok := s.CountPoints(1 << 20)
+		if !ok {
+			t.Fatalf("iter %d: CountPoints refused bounded system", iter)
+		}
+		if got != want {
+			t.Fatalf("iter %d: CountPoints = %d, brute force = %d\nsystem: %v", iter, got, want, s)
+		}
+		if s.IsEmpty() != (want == 0) {
+			t.Fatalf("iter %d: IsEmpty = %v but count = %d", iter, s.IsEmpty(), want)
+		}
+	}
+}
+
+func TestVarsAndString(t *testing.T) {
+	s := NewSystem(3)
+	s.AddGE(expr.VarPlus(0, -1))
+	s.AddEQ(expr.Var(2))
+	vars := s.Vars()
+	if len(vars) != 2 || vars[0] != 0 || vars[1] != 2 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if s.String() != "{v0-1 >= 0 && v2 == 0}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if (Interval{3, 2}).Size() != 0 || (Interval{1, 4}).Size() != 4 {
+		t.Fatal("Interval.Size wrong")
+	}
+}

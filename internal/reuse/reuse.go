@@ -1,0 +1,540 @@
+// Package reuse computes reuse vectors for affine array references in a
+// loop nest, following Wolf & Lam's data-locality framework: self-temporal,
+// self-spatial, group-temporal and group-spatial reuse. Reuse vectors are
+// the first ingredient of Cache Miss Equations — each reference's CMEs are
+// generated per reuse vector (§2.1 of the paper).
+package reuse
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+)
+
+// Kind classifies a reuse vector.
+type Kind int
+
+const (
+	// SelfTemporal: the same reference touches the same element again.
+	SelfTemporal Kind = iota
+	// SelfSpatial: the same reference touches the same cache line again
+	// (different element).
+	SelfSpatial
+	// GroupTemporal: a different reference touched the same element.
+	GroupTemporal
+	// GroupSpatial: a different reference touched the same cache line.
+	GroupSpatial
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SelfTemporal:
+		return "self-temporal"
+	case SelfSpatial:
+		return "self-spatial"
+	case GroupTemporal:
+		return "group-temporal"
+	case GroupSpatial:
+		return "group-spatial"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Vector is one reuse vector: reference Ref potentially reuses data touched
+// by reference Source at iteration point ī − R.
+type Vector struct {
+	Kind   Kind
+	Ref    int     // index of the reusing reference in the nest body
+	Source int     // index of the source reference (== Ref for self reuse)
+	R      []int64 // iteration-space distance, outermost first
+}
+
+func (v Vector) String() string {
+	return fmt.Sprintf("%v ref%d<-ref%d r=%v", v.Kind, v.Ref, v.Source, v.R)
+}
+
+// Compute returns the reuse vectors of every reference in the nest with
+// respect to the given cache geometry (the line size determines spatial
+// reuse). Vectors are returned grouped by reference in body order and
+// sorted by increasing reuse distance within each reference.
+//
+// Subscript matrices are taken over the original loop variables; for tiled
+// nests, pass the original (untiled) nest — tiling does not change the
+// subscript functions, only the traversal order.
+func Compute(nest *ir.Nest, cfg cache.Config) []Vector {
+	depth := nest.Depth()
+	var out []Vector
+
+	for ri := range nest.Refs {
+		ref := &nest.Refs[ri]
+		H := subscriptMatrix(ref, depth)
+
+		// Self-temporal: basis of nullspace(H).
+		tBasis := nullspaceBasis(H, depth)
+		for _, r := range tBasis {
+			out = append(out, Vector{Kind: SelfTemporal, Ref: ri, Source: ri, R: r})
+		}
+
+		// Self-spatial: nullspace of H with the fastest-varying
+		// dimension's row removed; keep vectors adding dimensions beyond
+		// the temporal nullspace, and only when the stride along the new
+		// direction stays within a line.
+		fast := fastestDim(ref.Array)
+		Hs := dropRow(H, fast)
+		sBasis := nullspaceBasis(Hs, depth)
+		for _, r := range sBasis {
+			if inSpan(tBasis, r, depth) {
+				continue
+			}
+			if strideAlong(ref, r) < cfg.LineSize {
+				out = append(out, Vector{Kind: SelfSpatial, Ref: ri, Source: ri, R: r})
+			}
+		}
+
+		// Group reuse: another reference to the same array whose linear
+		// part matches; solve H·r = offset(source) − offset(ref).
+		for rj := range nest.Refs {
+			if rj == ri {
+				continue
+			}
+			src := &nest.Refs[rj]
+			if src.Array != ref.Array {
+				continue
+			}
+			Hj := subscriptMatrix(src, depth)
+			if !sameMatrix(H, Hj) {
+				continue
+			}
+			// ref at ī touches H·ī + c_ref; src at ī−r touches
+			// H·ī − H·r + c_src. They coincide iff H·r = c_src − c_ref.
+			diff := make([]int64, len(ref.Subs))
+			for d := range ref.Subs {
+				diff[d] = src.Subs[d].Const - ref.Subs[d].Const
+			}
+			if r, ok := solveParticular(H, diff, depth); ok {
+				if isZero(r) && rj > ri {
+					// Same address within one iteration: the earlier
+					// reference in program order is the source; skip the
+					// symmetric duplicate.
+					continue
+				}
+				if lexNegative(r) {
+					continue // reuse must come from an earlier iteration
+				}
+				out = append(out, Vector{Kind: GroupTemporal, Ref: ri, Source: rj, R: r})
+			} else {
+				// No temporal solution; try spatial (drop fastest dim).
+				diffS := dropVec(diff, fast)
+				if r, ok := solveParticular(dropRow(H, fast), diffS, depth); ok {
+					if abs64(elemOffsetAlongFast(ref, src))*ref.Array.Elem < cfg.LineSize &&
+						!lexNegative(r) && !isZero(r) {
+						out = append(out, Vector{Kind: GroupSpatial, Ref: ri, Source: rj, R: r})
+					}
+				}
+			}
+		}
+	}
+	sortVectors(out)
+	return out
+}
+
+// subscriptMatrix builds the coefficient matrix H (rows = array dims,
+// cols = loop vars) of a reference.
+func subscriptMatrix(ref *ir.Ref, depth int) [][]int64 {
+	H := make([][]int64, len(ref.Subs))
+	for d := range ref.Subs {
+		row := make([]int64, depth)
+		for v := 0; v < depth; v++ {
+			row[v] = ref.Subs[d].Coeff(v)
+		}
+		H[d] = row
+	}
+	return H
+}
+
+// fastestDim returns the array dimension with the smallest stride.
+func fastestDim(a *ir.Array) int {
+	strides := a.Strides()
+	best := 0
+	for d := 1; d < len(strides); d++ {
+		if strides[d] < strides[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+func dropRow(H [][]int64, row int) [][]int64 {
+	out := make([][]int64, 0, len(H)-1)
+	for i := range H {
+		if i != row {
+			out = append(out, H[i])
+		}
+	}
+	return out
+}
+
+func dropVec(v []int64, idx int) []int64 {
+	out := make([]int64, 0, len(v)-1)
+	for i := range v {
+		if i != idx {
+			out = append(out, v[i])
+		}
+	}
+	return out
+}
+
+// strideAlong returns the absolute address change of the reference when the
+// iteration point moves by r.
+func strideAlong(ref *ir.Ref, r []int64) int64 {
+	strides := ref.Array.Strides()
+	var delta int64
+	for d := range ref.Subs {
+		var move int64
+		for v, c := range r {
+			move += ref.Subs[d].Coeff(v) * c
+		}
+		delta += move * strides[d] * ref.Array.Elem
+	}
+	return abs64(delta)
+}
+
+// elemOffsetAlongFast returns the subscript-constant difference in the
+// fastest dimension between two references with equal linear parts.
+func elemOffsetAlongFast(a, b *ir.Ref) int64 {
+	fast := fastestDim(a.Array)
+	return a.Subs[fast].Const - b.Subs[fast].Const
+}
+
+func sameMatrix(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isZero(v []int64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func lexNegative(v []int64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return x < 0
+		}
+	}
+	return false
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sortVectors orders by reference index then by reuse distance (sum of
+// absolute components as a cheap proxy, then lexicographically).
+func sortVectors(vs []Vector) {
+	lt := func(a, b Vector) bool {
+		if a.Ref != b.Ref {
+			return a.Ref < b.Ref
+		}
+		da, db := absSum(a.R), absSum(b.R)
+		if da != db {
+			return da < db
+		}
+		for i := range a.R {
+			if a.R[i] != b.R[i] {
+				return a.R[i] < b.R[i]
+			}
+		}
+		return a.Kind < b.Kind
+	}
+	// Insertion sort: lists are short.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && lt(vs[j], vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func absSum(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += abs64(x)
+	}
+	return s
+}
+
+// --- Exact linear algebra over the rationals -----------------------------
+
+// nullspaceBasis returns an integer basis of the nullspace of H (cols =
+// depth variables), each vector primitive and lexicographically positive.
+func nullspaceBasis(H [][]int64, depth int) [][]int64 {
+	if len(H) == 0 {
+		// Every direction is in the nullspace: identity basis.
+		basis := make([][]int64, depth)
+		for i := range basis {
+			v := make([]int64, depth)
+			v[i] = 1
+			basis[i] = v
+		}
+		return basis
+	}
+	// Row-reduce a rational copy of H.
+	m := toRat(H, depth)
+	pivots := rref(m, depth)
+	isPivot := make([]bool, depth)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis [][]int64
+	for free := 0; free < depth; free++ {
+		if isPivot[free] {
+			continue
+		}
+		// Back-substitute with x_free = 1, other free vars 0.
+		x := make([]*big.Rat, depth)
+		for i := range x {
+			x[i] = new(big.Rat)
+		}
+		x[free].SetInt64(1)
+		for r := len(pivots) - 1; r >= 0; r-- {
+			p := pivots[r]
+			sum := new(big.Rat)
+			for c := p + 1; c < depth; c++ {
+				term := new(big.Rat).Mul(m[r][c], x[c])
+				sum.Add(sum, term)
+			}
+			x[p].Neg(sum) // pivot coefficient is 1 after rref
+		}
+		basis = append(basis, ratToPrimitive(x))
+	}
+	return basis
+}
+
+// solveParticular finds an integer solution r of H·r = rhs, or reports
+// failure (no rational solution or no integer solution found).
+func solveParticular(H [][]int64, rhs []int64, depth int) ([]int64, bool) {
+	if len(H) == 0 {
+		if !isZero(rhs) {
+			return nil, false
+		}
+		return make([]int64, depth), true
+	}
+	// Augmented rational elimination.
+	m := toRat(H, depth)
+	b := make([]*big.Rat, len(H))
+	for i := range b {
+		b[i] = new(big.Rat).SetInt64(rhs[i])
+	}
+	pivots := rrefAug(m, b, depth)
+	// Inconsistency: zero row with nonzero rhs.
+	for i := len(pivots); i < len(m); i++ {
+		if b[i].Sign() != 0 {
+			return nil, false
+		}
+	}
+	x := make([]*big.Rat, depth)
+	for i := range x {
+		x[i] = new(big.Rat)
+	}
+	for r := len(pivots) - 1; r >= 0; r-- {
+		p := pivots[r]
+		sum := new(big.Rat).Set(b[r])
+		for c := p + 1; c < depth; c++ {
+			sum.Sub(sum, new(big.Rat).Mul(m[r][c], x[c]))
+		}
+		x[p].Set(sum)
+	}
+	out := make([]int64, depth)
+	for i, v := range x {
+		if !v.IsInt() {
+			return nil, false
+		}
+		out[i] = v.Num().Int64()
+	}
+	return out, true
+}
+
+func toRat(H [][]int64, depth int) [][]*big.Rat {
+	m := make([][]*big.Rat, len(H))
+	for i := range H {
+		m[i] = make([]*big.Rat, depth)
+		for j := 0; j < depth; j++ {
+			var v int64
+			if j < len(H[i]) {
+				v = H[i][j]
+			}
+			m[i][j] = new(big.Rat).SetInt64(v)
+		}
+	}
+	return m
+}
+
+// rref reduces m in place to reduced row echelon form, returning the pivot
+// columns in order.
+func rref(m [][]*big.Rat, cols int) []int {
+	var pivots []int
+	row := 0
+	for col := 0; col < cols && row < len(m); col++ {
+		sel := -1
+		for r := row; r < len(m); r++ {
+			if m[r][col].Sign() != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m[row], m[sel] = m[sel], m[row]
+		inv := new(big.Rat).Inv(m[row][col])
+		for c := col; c < cols; c++ {
+			m[row][c].Mul(m[row][c], inv)
+		}
+		for r := 0; r < len(m); r++ {
+			if r == row || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			for c := col; c < cols; c++ {
+				m[r][c].Sub(m[r][c], new(big.Rat).Mul(f, m[row][c]))
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return pivots
+}
+
+// rrefAug is rref over [m | b].
+func rrefAug(m [][]*big.Rat, b []*big.Rat, cols int) []int {
+	var pivots []int
+	row := 0
+	for col := 0; col < cols && row < len(m); col++ {
+		sel := -1
+		for r := row; r < len(m); r++ {
+			if m[r][col].Sign() != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m[row], m[sel] = m[sel], m[row]
+		b[row], b[sel] = b[sel], b[row]
+		inv := new(big.Rat).Inv(m[row][col])
+		for c := col; c < cols; c++ {
+			m[row][c].Mul(m[row][c], inv)
+		}
+		b[row].Mul(b[row], inv)
+		for r := 0; r < len(m); r++ {
+			if r == row || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			for c := col; c < cols; c++ {
+				m[r][c].Sub(m[r][c], new(big.Rat).Mul(f, m[row][c]))
+			}
+			b[r].Sub(b[r], new(big.Rat).Mul(f, b[row]))
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return pivots
+}
+
+// ratToPrimitive scales a rational vector to the smallest integer vector
+// with the same direction, lexicographically positive.
+func ratToPrimitive(x []*big.Rat) []int64 {
+	lcm := big.NewInt(1)
+	for _, v := range x {
+		d := v.Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(lcm, g)
+		lcm.Mul(lcm, d)
+	}
+	ints := make([]int64, len(x))
+	gcd := big.NewInt(0)
+	for i, v := range x {
+		n := new(big.Int).Mul(v.Num(), lcm)
+		n.Div(n, v.Denom())
+		ints[i] = n.Int64()
+		gcd.GCD(nil, nil, gcd, new(big.Int).Abs(n))
+	}
+	if g := gcd.Int64(); g > 1 {
+		for i := range ints {
+			ints[i] /= g
+		}
+	}
+	if lexNegative(ints) {
+		for i := range ints {
+			ints[i] = -ints[i]
+		}
+	}
+	return ints
+}
+
+// inSpan reports whether v lies in the rational span of the basis vectors.
+func inSpan(basis [][]int64, v []int64, depth int) bool {
+	if len(basis) == 0 {
+		return isZero(v)
+	}
+	// Solve basisᵀ·c = v: build the matrix with basis vectors as columns.
+	H := make([][]int64, depth)
+	for i := 0; i < depth; i++ {
+		row := make([]int64, len(basis))
+		for j := range basis {
+			row[j] = basis[j][i]
+		}
+		H[i] = row
+	}
+	_, ok := solveParticularRat(H, v, len(basis))
+	return ok
+}
+
+// solveParticularRat is solveParticular without the integrality requirement.
+func solveParticularRat(H [][]int64, rhs []int64, depth int) ([]*big.Rat, bool) {
+	m := toRat(H, depth)
+	b := make([]*big.Rat, len(H))
+	for i := range b {
+		b[i] = new(big.Rat).SetInt64(rhs[i])
+	}
+	pivots := rrefAug(m, b, depth)
+	for i := len(pivots); i < len(m); i++ {
+		if b[i].Sign() != 0 {
+			return nil, false
+		}
+	}
+	x := make([]*big.Rat, depth)
+	for i := range x {
+		x[i] = new(big.Rat)
+	}
+	for r := len(pivots) - 1; r >= 0; r-- {
+		p := pivots[r]
+		sum := new(big.Rat).Set(b[r])
+		for c := p + 1; c < depth; c++ {
+			sum.Sub(sum, new(big.Rat).Mul(m[r][c], x[c]))
+		}
+		x[p].Set(sum)
+	}
+	return x, true
+}

@@ -1,0 +1,229 @@
+// Package search implements the alternative global optimizers the paper's
+// §3.1 surveys before settling on a genetic algorithm — simulated
+// annealing (Kirkpatrick et al.), pure random search, and stochastic hill
+// climbing with restarts — over the same nonlinear integer objective
+// f(T₁..Tk). They share a common Problem interface so benchmarks can
+// compare search quality at equal evaluation budgets.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Problem is a bound-constrained integer minimisation problem: find
+// x ∈ ∏[Lo[d], Hi[d]] minimising Objective(x).
+type Problem struct {
+	Lo, Hi    []int64
+	Objective func(x []int64) float64
+}
+
+// Validate checks the bounds.
+func (p Problem) Validate() error {
+	if len(p.Lo) == 0 || len(p.Lo) != len(p.Hi) {
+		return fmt.Errorf("search: bad bounds rank %d/%d", len(p.Lo), len(p.Hi))
+	}
+	for d := range p.Lo {
+		if p.Lo[d] > p.Hi[d] {
+			return fmt.Errorf("search: empty range in dimension %d", d)
+		}
+	}
+	if p.Objective == nil {
+		return fmt.Errorf("search: nil objective")
+	}
+	return nil
+}
+
+func (p Problem) dims() int { return len(p.Lo) }
+
+func (p Problem) sample(r *rand.Rand, x []int64) {
+	for d := range x {
+		x[d] = p.Lo[d] + r.Int64N(p.Hi[d]-p.Lo[d]+1)
+	}
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Result reports one optimisation run.
+type Result struct {
+	Best        []int64
+	BestValue   float64
+	Evaluations int
+}
+
+// memoized wraps an objective with a seen-set so Evaluations counts
+// distinct candidates, mirroring the GA engine's accounting.
+type memoized struct {
+	f     func([]int64) float64
+	seen  map[string]float64
+	calls int
+}
+
+func newMemo(f func([]int64) float64) *memoized {
+	return &memoized{f: f, seen: map[string]float64{}}
+}
+
+func (m *memoized) eval(x []int64) float64 {
+	key := fmt.Sprint(x)
+	if v, ok := m.seen[key]; ok {
+		return v
+	}
+	v := m.f(x)
+	m.seen[key] = v
+	m.calls++
+	return v
+}
+
+// Random draws budget uniform candidates and keeps the best — the
+// baseline any structured search must beat.
+func Random(p Problem, budget int, seed uint64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x51f5a7d3))
+	m := newMemo(p.Objective)
+	x := make([]int64, p.dims())
+	best := Result{BestValue: math.Inf(1)}
+	for i := 0; i < budget; i++ {
+		p.sample(r, x)
+		if v := m.eval(x); v < best.BestValue {
+			best.BestValue = v
+			best.Best = append([]int64(nil), x...)
+		}
+	}
+	best.Evaluations = m.calls
+	return best, nil
+}
+
+// HillClimb runs first-improvement stochastic hill climbing with random
+// restarts: from a random point, propose geometric steps in random
+// coordinates, accept improvements, restart when a local minimum wastes
+// patience proposals.
+func HillClimb(p Problem, budget int, seed uint64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x2545f491))
+	m := newMemo(p.Objective)
+	best := Result{BestValue: math.Inf(1)}
+	x := make([]int64, p.dims())
+	cand := make([]int64, p.dims())
+	const patience = 30
+
+	// Memoised repeats are free but must not spin forever on small or
+	// exhausted search spaces: bound total proposals as well as distinct
+	// evaluations.
+	for attempts := 0; m.calls < budget && attempts < 50*budget; attempts++ {
+		p.sample(r, x)
+		cur := m.eval(x)
+		if cur < best.BestValue {
+			best.BestValue = cur
+			best.Best = append([]int64(nil), x...)
+		}
+		stale := 0
+		for stale < patience && m.calls < budget {
+			attempts++
+			if attempts >= 50*budget {
+				break
+			}
+			copy(cand, x)
+			d := int(r.Int64N(int64(p.dims())))
+			span := p.Hi[d] - p.Lo[d]
+			// Geometric step: mostly local, occasionally long-range.
+			step := int64(1) << r.Int64N(int64(bits(span)+1))
+			if r.Int64N(2) == 0 {
+				step = -step
+			}
+			cand[d] = clamp(cand[d]+step, p.Lo[d], p.Hi[d])
+			v := m.eval(cand)
+			if v < cur {
+				cur = v
+				copy(x, cand)
+				stale = 0
+				if v < best.BestValue {
+					best.BestValue = v
+					best.Best = append([]int64(nil), cand...)
+				}
+			} else {
+				stale++
+			}
+		}
+	}
+	best.Evaluations = m.calls
+	return best, nil
+}
+
+// Anneal is simulated annealing with geometric cooling: the acceptance
+// temperature starts at a fraction of the initial objective value and
+// decays so that the budget's end is effectively greedy.
+func Anneal(p Problem, budget int, seed uint64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	m := newMemo(p.Objective)
+	x := make([]int64, p.dims())
+	cand := make([]int64, p.dims())
+	p.sample(r, x)
+	cur := m.eval(x)
+	best := Result{BestValue: cur, Best: append([]int64(nil), x...)}
+
+	temp := math.Max(cur/5, 1)
+	cool := math.Pow(1e-3, 1/math.Max(float64(budget), 1)) // temp*cool^budget = temp/1000
+
+	// Bounded proposals: memoised repeats must not spin forever once the
+	// reachable neighbourhood is exhausted.
+	for attempts := 0; m.calls < budget && attempts < 50*budget; attempts++ {
+		copy(cand, x)
+		d := int(r.Int64N(int64(p.dims())))
+		span := p.Hi[d] - p.Lo[d]
+		step := int64(1) << r.Int64N(int64(bits(span)+1))
+		if r.Int64N(2) == 0 {
+			step = -step
+		}
+		cand[d] = clamp(cand[d]+step, p.Lo[d], p.Hi[d])
+		v := m.eval(cand)
+		if v <= cur || r.Float64() < math.Exp((cur-v)/math.Max(temp, 1e-9)) {
+			cur = v
+			copy(x, cand)
+			if v < best.BestValue {
+				best.BestValue = v
+				best.Best = append([]int64(nil), cand...)
+			}
+		}
+		temp *= cool
+	}
+	best.Evaluations = m.calls
+	return best, nil
+}
+
+// bits returns the bit length of v (0 for 0).
+func bits(v int64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// TileProblem adapts a tile-size search space to a Problem: dimensions are
+// the loop extents, the objective is supplied by core.TileObjective.
+func TileProblem(extents []int64, objective func([]int64) float64) Problem {
+	lo := make([]int64, len(extents))
+	hi := make([]int64, len(extents))
+	for d, e := range extents {
+		lo[d] = 1
+		hi[d] = e
+	}
+	return Problem{Lo: lo, Hi: hi, Objective: objective}
+}

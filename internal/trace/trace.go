@@ -1,0 +1,109 @@
+// Package trace generates the exact memory-reference trace of a loop nest
+// by interpreting the IR in execution order. The trace is the ground truth
+// the analytical model (Cache Miss Equations) is validated against.
+package trace
+
+import (
+	"repro/internal/ir"
+	"repro/internal/iterspace"
+)
+
+// Access is one memory access of the trace.
+type Access struct {
+	// Addr is the byte address touched.
+	Addr int64
+	// RefIdx is the index of the reference in the nest body.
+	RefIdx int
+	// Write reports whether the access is a store.
+	Write bool
+}
+
+// Generate walks the nest in execution order and invokes fn for every
+// access (references in program order within each iteration). Generation
+// stops early if fn returns false.
+func Generate(n *ir.Nest, fn func(point []int64, a Access) bool) {
+	depth := n.Depth()
+	point := make([]int64, depth)
+	var walk func(d int) bool
+	walk = func(d int) bool {
+		if d == depth {
+			for i := range n.Refs {
+				r := &n.Refs[i]
+				a := Access{Addr: r.Address(point), RefIdx: i, Write: r.Write}
+				if !fn(point, a) {
+					return false
+				}
+			}
+			return true
+		}
+		l := &n.Loops[d]
+		hi := l.Upper.Eval(point)
+		for v := l.Lower.Eval(point); v <= hi; v += l.Step {
+			point[d] = v
+			if !walk(d + 1) {
+				return false
+			}
+		}
+		point[d] = 0
+		return true
+	}
+	walk(0)
+}
+
+// Count returns the number of iteration points and accesses of the nest by
+// exhaustive walking. Intended for tests and small nests.
+func Count(n *ir.Nest) (points, accesses uint64) {
+	depth := n.Depth()
+	point := make([]int64, depth)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == depth {
+			points++
+			accesses += uint64(len(n.Refs))
+			return
+		}
+		l := &n.Loops[d]
+		hi := l.Upper.Eval(point)
+		for v := l.Lower.Eval(point); v <= hi; v += l.Step {
+			point[d] = v
+			walk(d + 1)
+		}
+		point[d] = 0
+	}
+	walk(0)
+	return points, accesses
+}
+
+// GenerateSpace emits the access trace of the nest's references traversed
+// in the execution order of the given iteration space (e.g. a tiled order).
+// The nest's references must be written over the original loop variables;
+// the space supplies them via OrigView. fn receives the full space point.
+func GenerateSpace(s iterspace.Space, n *ir.Nest, fn func(point []int64, a Access) bool) {
+	p := make([]int64, s.NumCoords())
+	if !s.First(p) {
+		return
+	}
+	for {
+		orig := s.OrigView(p)
+		for i := range n.Refs {
+			r := &n.Refs[i]
+			a := Access{Addr: r.Address(orig), RefIdx: i, Write: r.Write}
+			if !fn(p, a) {
+				return
+			}
+		}
+		if !s.Next(p) {
+			return
+		}
+	}
+}
+
+// Addresses collects the full address trace. Only for small nests (tests).
+func Addresses(n *ir.Nest) []int64 {
+	var out []int64
+	Generate(n, func(_ []int64, a Access) bool {
+		out = append(out, a.Addr)
+		return true
+	})
+	return out
+}

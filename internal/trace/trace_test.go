@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// vecNest builds do i=1,n { read x(i); write y(i) }.
+func vecNest(n int64) *ir.Nest {
+	x := &ir.Array{Name: "x", Dims: []int64{n}, Elem: 8, Base: 0}
+	y := &ir.Array{Name: "y", Dims: []int64{n}, Elem: 8, Base: 8 * n}
+	return &ir.Nest{
+		Name: "vec",
+		Loops: []ir.Loop{
+			{Var: "i", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(n)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: x, Subs: []expr.Affine{expr.Var(0)}},
+			{Array: y, Subs: []expr.Affine{expr.Var(0)}, Write: true},
+		},
+	}
+}
+
+func TestGenerateOrderAndAddresses(t *testing.T) {
+	n := vecNest(3)
+	var got []Access
+	Generate(n, func(_ []int64, a Access) bool {
+		got = append(got, a)
+		return true
+	})
+	want := []Access{
+		{0, 0, false}, {24, 1, true},
+		{8, 0, false}, {32, 1, true},
+		{16, 0, false}, {40, 1, true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d accesses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateEarlyStop(t *testing.T) {
+	n := vecNest(100)
+	count := 0
+	Generate(n, func(_ []int64, a Access) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d accesses", count)
+	}
+}
+
+func TestCount(t *testing.T) {
+	pts, acc := Count(vecNest(7))
+	if pts != 7 || acc != 14 {
+		t.Fatalf("Count = %d points %d accesses", pts, acc)
+	}
+}
+
+// TestGenerateTiledMinBound checks that min() upper bounds are honored:
+// the tiled 1D loop of the paper's Figure 2(b) touches a(1..7) once each.
+func TestGenerateTiledMinBound(t *testing.T) {
+	a := &ir.Array{Name: "a", Dims: []int64{7}, Elem: 8, Base: 0}
+	n := &ir.Nest{
+		Name: "fig2b",
+		Loops: []ir.Loop{
+			{Var: "ii", Lower: expr.Const(1), Upper: ir.BoundOf(expr.Const(7)), Step: 3},
+			{Var: "i", Lower: expr.Var(0), Upper: ir.MinBound(expr.VarPlus(0, 2), expr.Const(7)), Step: 1},
+		},
+		Refs: []ir.Ref{
+			{Array: a, Subs: []expr.Affine{expr.Var(1)}, Write: true},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	addrs := Addresses(n)
+	if len(addrs) != 7 {
+		t.Fatalf("tiled loop made %d accesses, want 7", len(addrs))
+	}
+	for i, addr := range addrs {
+		if addr != int64(i*8) {
+			t.Fatalf("access %d at addr %d, want %d", i, addr, i*8)
+		}
+	}
+}
+
+func TestGenerateVisitsPointsInOrder(t *testing.T) {
+	n := vecNest(3)
+	var pts [][]int64
+	Generate(n, func(p []int64, a Access) bool {
+		if a.RefIdx == 0 {
+			pts = append(pts, append([]int64(nil), p...))
+		}
+		return true
+	})
+	if len(pts) != 3 || pts[0][0] != 1 || pts[1][0] != 2 || pts[2][0] != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+}
