@@ -1,0 +1,28 @@
+# Development targets. `make verify` is the tier-1 gate every change must
+# keep green: vet, full build, and the test suite under the race detector
+# (the search runtime fans evaluation out across goroutines, so races are
+# first-class failures here).
+
+GO ?= go
+
+.PHONY: verify build test vet race fuzz
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz sweeps over the structured-input entry points.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzAffine -fuzztime=30s ./internal/expr/
+	$(GO) test -run=^$$ -fuzz=FuzzNestValidate -fuzztime=30s ./internal/ir/
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/parser/

@@ -9,6 +9,7 @@
 package cmetiling_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -35,7 +36,7 @@ func quickCfg() experiments.Config {
 // 8KB direct-mapped) and reports the average replacement ratios.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(quickCfg())
+		rows, err := experiments.Table2(context.Background(), quickCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func figureBench(b *testing.B, cfg cache.Config) {
 	c := quickCfg()
 	c.QuickCap = 500
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure(cfg, entries, c)
+		rows, err := experiments.Figure(context.Background(), cfg, entries, c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkTable3(b *testing.B) {
 	c := quickCfg()
 	c.QuickCap = 128
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(cache.DM8K, c)
+		rows, err := experiments.Table3(context.Background(), cache.DM8K, c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkTable4(b *testing.B) {
 	c := quickCfg()
 	c.QuickCap = 500
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure(cache.DM8K, entries, c)
+		rows, err := experiments.Figure(context.Background(), cache.DM8K, entries, c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkGAConvergence(b *testing.B) {
 	c := quickCfg()
 	c.QuickCap = 500
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Convergence(entries, c)
+		rows, err := experiments.Convergence(context.Background(), entries, c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func BenchmarkGASearch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.OptimizeTiling(nest, core.Options{Cache: cache.DM8K, Seed: uint64(i) + 1}); err != nil {
+		if _, err := core.OptimizeTiling(context.Background(), nest, core.Options{Cache: cache.DM8K, Seed: uint64(i) + 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,7 +271,7 @@ func BenchmarkAblationPopulation(b *testing.B) {
 				gaCfg := ga.PaperConfig(5)
 				gaCfg.PopSize = pop
 				opt.GA = gaCfg
-				res, err := core.OptimizeTiling(nest, opt)
+				res, err := core.OptimizeTiling(context.Background(), nest, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -293,7 +294,7 @@ func BenchmarkAblationSampleSize(b *testing.B) {
 		name := map[int]string{41: "pts41", 164: "pts164", 656: "pts656"}[pts]
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.OptimizeTiling(nest, core.Options{
+				res, err := core.OptimizeTiling(context.Background(), nest, core.Options{
 					Cache: cache.DM8K, Seed: 5, SamplePoints: pts,
 				})
 				if err != nil {
@@ -356,7 +357,7 @@ func BenchmarkOptimizerShootout(b *testing.B) {
 	})
 	b.Run("ga", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.OptimizeTiling(nest, opt)
+			res, err := core.OptimizeTiling(context.Background(), nest, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -378,7 +379,7 @@ func BenchmarkAssociativitySweep(b *testing.B) {
 		b.Run(map[int]string{1: "direct", 2: "2way", 4: "4way"}[assoc], func(b *testing.B) {
 			cfg := cache.Config{Size: 8192, LineSize: 32, Assoc: assoc}
 			for i := 0; i < b.N; i++ {
-				res, err := core.OptimizeTiling(nest, core.Options{Cache: cfg, Seed: 21})
+				res, err := core.OptimizeTiling(context.Background(), nest, core.Options{Cache: cfg, Seed: 21})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -419,7 +420,7 @@ func BenchmarkBaselinesVsGA(b *testing.B) {
 	}
 	b.Run("ga", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.OptimizeTiling(nest, core.Options{Cache: cache.DM8K, Seed: 9})
+			res, err := core.OptimizeTiling(context.Background(), nest, core.Options{Cache: cache.DM8K, Seed: 9})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -439,7 +440,7 @@ func BenchmarkOrderSearch(b *testing.B) {
 	opt := core.Options{Cache: cache.DM8K, Seed: 31}
 	b.Run("fixed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.OptimizeTiling(nest, opt)
+			res, err := core.OptimizeTiling(context.Background(), nest, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -448,7 +449,7 @@ func BenchmarkOrderSearch(b *testing.B) {
 	})
 	b.Run("ordered", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.OptimizeTilingOrder(nest, opt)
+			res, err := core.OptimizeTilingOrder(context.Background(), nest, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -472,7 +473,7 @@ func BenchmarkAblationCrossover(b *testing.B) {
 				gaCfg := ga.PaperConfig(5)
 				gaCfg.Crossover = kind
 				opt.GA = gaCfg
-				res, err := core.OptimizeTiling(nest, opt)
+				res, err := core.OptimizeTiling(context.Background(), nest, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -507,7 +508,7 @@ func BenchmarkAblationAlphabet(b *testing.B) {
 				spec := ga.NewTileSpecBits(extents, geneBits)
 				cfg := ga.PaperConfig(5)
 				cfg.MutationProb = 1.0 / (2 * float64(spec.TotalBits()))
-				res, err := ga.Run(spec, func(v []int64) float64 {
+				res, err := ga.Run(context.Background(), spec, func(v []int64) float64 {
 					t := make([]int64, len(v))
 					for d := range v {
 						t[d] = v[d]

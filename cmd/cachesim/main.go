@@ -90,8 +90,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cachesim:", err)
-	os.Exit(1)
+	cliutil.Fatal("cachesim", err)
 }
 
 func loadKernel(path string) (*ir.Nest, error) {

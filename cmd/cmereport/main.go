@@ -118,8 +118,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cmereport:", err)
-	os.Exit(1)
+	cliutil.Fatal("cmereport", err)
 }
 
 func loadKernel(path string) (*ir.Nest, error) {

@@ -6,15 +6,24 @@
 //	experiments -all                  # everything, full problem sizes
 //	experiments -figure8 -quick      # Figure 8 at reduced sizes
 //	experiments -table3 -csv out/    # also write CSV files
+//
+// Every search honours -timeout and -budget and Ctrl-C: an interrupted
+// run finishes the current search with its best-so-far candidate, so the
+// tables printed before the interrupt are always complete and valid.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
@@ -36,6 +45,8 @@ func main() {
 		points   = flag.Int("points", 0, "sample points per evaluation (0 = paper's 164)")
 		csvDir   = flag.String("csv", "", "directory to write CSV result files into")
 		bars     = flag.Bool("bars", false, "also render figures as ASCII bar charts")
+		timeout  = flag.Duration("timeout", 0, "per-search deadline (0 = unbounded)")
+		budget   = flag.Int("budget", 0, "per-search evaluation budget (0 = unbounded)")
 	)
 	flag.Parse()
 	if *all {
@@ -44,15 +55,24 @@ func main() {
 	}
 	if !(*table2 || *figure8 || *figure9 || *table3 || *table4 || *conv || *sampChk || *assoc || *inter) {
 		flag.Usage()
-		os.Exit(2)
+		cliutil.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points}
+	cfg := experiments.Config{
+		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
+		Deadline: *timeout, MaxEvaluations: *budget,
+	}
+
+	// A first Ctrl-C cancels the context: in-flight searches stop at the
+	// next generation boundary and report best-so-far; a second Ctrl-C
+	// kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var fig8Rows, fig9Rows []experiments.FigureRow
 	var err error
 
 	if *table2 {
-		rows, err := experiments.Table2(cfg)
+		rows, err := experiments.Table2(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -60,7 +80,7 @@ func main() {
 		fmt.Println()
 	}
 	if *figure8 || *table4 {
-		fig8Rows, err = experiments.Figure(cache.DM8K, nil, cfg)
+		fig8Rows, err = experiments.Figure(ctx, cache.DM8K, nil, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +93,7 @@ func main() {
 		writeCSV(*csvDir, "figure8.csv", fig8Rows)
 	}
 	if *figure9 || *table4 {
-		fig9Rows, err = experiments.Figure(cache.DM32K, nil, cfg)
+		fig9Rows, err = experiments.Figure(ctx, cache.DM32K, nil, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +107,7 @@ func main() {
 	}
 	if *table3 {
 		for _, c := range []cache.Config{cache.DM8K, cache.DM32K} {
-			rows, err := experiments.Table3(c, cfg)
+			rows, err := experiments.Table3(ctx, c, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -104,7 +124,7 @@ func main() {
 		fmt.Println()
 	}
 	if *assoc {
-		rows, err := experiments.AssocSweep("MM", 500, []int{1, 2, 4, 8}, cfg)
+		rows, err := experiments.AssocSweep(ctx, "MM", 500, []int{1, 2, 4, 8}, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +137,7 @@ func main() {
 			kernel string
 			size   int64
 		}{{"MM", 500}, {"T2D", 500}, {"T3DJIK", 100}, {"T3DIKJ", 100}} {
-			row, err := experiments.InterchangeVsTiling(e.kernel, e.size, cfg)
+			row, err := experiments.InterchangeVsTiling(ctx, e.kernel, e.size, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -151,12 +171,17 @@ func main() {
 			{Kernel: "T2D", Size: 500}, {Kernel: "T3DJIK", Size: 100},
 			{Kernel: "JACOBI3D", Size: 100}, {Kernel: "DPSSB"},
 		}
-		rows, err := experiments.Convergence(entries, cfg)
+		rows, err := experiments.Convergence(ctx, entries, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		experiments.RenderConvergence(os.Stdout, rows)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; results above are best-so-far")
+		cliutil.Exit(130)
+	}
+	cliutil.Exit(0)
 }
 
 func writeCSV(dir, name string, rows []experiments.FigureRow) {
@@ -177,6 +202,11 @@ func writeCSV(dir, name string, rows []experiments.FigureRow) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	// An interrupt that surfaces as a context error is a controlled stop,
+	// not a failure: the searches already returned best-so-far results.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; results above are best-so-far")
+		cliutil.Exit(130)
+	}
+	cliutil.Fatal("experiments", err)
 }

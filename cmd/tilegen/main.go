@@ -6,14 +6,25 @@
 //
 //	tilegen -kernel MM -size 500 -cache 8k -seed 1
 //	tilegen -kernel VPENTA1 -mode padtile
+//	tilegen -kernel MM -timeout 2s -budget 100     # bounded search
+//	tilegen -kernel MM -checkpoint mm.ckpt         # snapshot each generation
+//	tilegen -kernel MM -resume mm.ckpt             # continue where it stopped
 //	tilegen -list
+//
+// Bounded runs (a deadline, an evaluation budget, or Ctrl-C) are not
+// failures: the search stops at the next generation boundary and reports
+// the best candidate found so far, with the stop reason on the result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	cmetiling "repro"
 	"repro/internal/cliutil"
@@ -21,14 +32,19 @@ import (
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "MM", "kernel name from the Table-1 catalog")
-		file   = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
-		size   = flag.Int64("size", 0, "problem size (0 = kernel default)")
-		cacheF = flag.String("cache", "8k", "cache config: 8k, 32k, or size:line:assoc in bytes")
-		seed   = flag.Uint64("seed", 1, "random seed (searches are deterministic per seed)")
-		points = flag.Int("points", 0, "sample points per evaluation (0 = paper's 164)")
-		mode   = flag.String("mode", "tile", "search mode: tile, order, pad, padtile, joint")
-		list   = flag.Bool("list", false, "list the kernel catalog and exit")
+		kernel   = flag.String("kernel", "MM", "kernel name from the Table-1 catalog")
+		file     = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
+		size     = flag.Int64("size", 0, "problem size (0 = kernel default)")
+		cacheF   = flag.String("cache", "8k", "cache config: 8k, 32k, or size:line:assoc in bytes")
+		seed     = flag.Uint64("seed", 1, "random seed (searches are deterministic per seed)")
+		points   = flag.Int("points", 0, "sample points per evaluation (0 = paper's 164)")
+		mode     = flag.String("mode", "tile", "search mode: tile, order, pad, padtile, joint")
+		list     = flag.Bool("list", false, "list the kernel catalog and exit")
+		timeout  = flag.Duration("timeout", 0, "search deadline (0 = unbounded)")
+		budget   = flag.Int("budget", 0, "max objective evaluations (0 = unbounded)")
+		ckptPath = flag.String("checkpoint", "", "write a resumable snapshot here every generation")
+		resume   = flag.String("resume", "", "resume the search from this checkpoint file")
+		progress = flag.Bool("progress", false, "print per-generation progress to stderr")
 	)
 	flag.Parse()
 
@@ -45,7 +61,7 @@ func main() {
 			}
 			fmt.Printf("%-10s %-10s %-5d %-18s %s\n", k.Name, k.Program, k.Depth, sizes, k.Description)
 		}
-		return
+		cliutil.Exit(0)
 	}
 
 	cfg, err := cliutil.ParseCache(*cacheF)
@@ -68,54 +84,91 @@ func main() {
 			fatal(err)
 		}
 	}
-	opt := cmetiling.Options{Cache: cfg, Seed: *seed, SamplePoints: *points}
+	opt := cmetiling.Options{
+		Cache: cfg, Seed: *seed, SamplePoints: *points,
+		Deadline: *timeout, MaxEvaluations: *budget,
+	}
+	if *progress {
+		opt.Progress = func(p cmetiling.Progress) {
+			fmt.Fprintf(os.Stderr, "gen %2d  best %.6g  evals %d  %v\n",
+				p.Gen, p.BestEver, p.Evaluations, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if *ckptPath != "" {
+		opt.Checkpoint = func(c *cmetiling.Checkpoint) error {
+			return cliutil.SaveCheckpoint(*ckptPath, c)
+		}
+	}
+	if *resume != "" {
+		c, err := cliutil.LoadCheckpoint(*resume)
+		if err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		opt.ResumeFrom = c
+	}
+
+	// A first Ctrl-C cancels the search, which then returns its
+	// best-so-far tile; a second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Printf("kernel %s  cache %v  seed %d\n", nest.Name, cfg, *seed)
 	fmt.Print(nest.String())
 
+	var stopped cmetiling.StopReason
 	switch *mode {
 	case "tile":
-		res, err := cmetiling.OptimizeTiling(nest, opt)
+		res, err := cmetiling.OptimizeTilingContext(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
+		stopped = res.Stopped
 		fmt.Printf("\nbest tile: %v (GA: %d generations, %d evaluations)\n",
 			res.Tile, res.GA.Generations, res.GA.Evaluations)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
 		fmt.Println("\ntiled nest:")
 		fmt.Print(res.TiledNest.String())
 	case "order":
-		res, err := cmetiling.OptimizeTilingOrder(nest, opt)
+		res, err := cmetiling.OptimizeTilingOrderContext(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
+		stopped = res.Stopped
 		fmt.Printf("\nbest tile: %v  tile-loop order: %v (GA: %d generations, %d evaluations)\n",
 			res.Tile, res.Order, res.GA.Generations, res.GA.Evaluations)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
 		fmt.Println("\ntiled nest:")
 		fmt.Print(res.TiledNest.String())
 	case "pad":
-		res, err := cmetiling.OptimizePadding(nest, opt)
+		res, err := cmetiling.OptimizePaddingContext(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
+		stopped = res.Stopped
 		fmt.Printf("\nbest padding: inter %v intra %v (elements)\n", res.Plan.Inter, res.Plan.Intra)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
 	case "padtile":
-		res, err := cmetiling.OptimizePaddingThenTiling(nest, opt)
+		res, err := cmetiling.OptimizePaddingThenTilingContext(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
+		stopped = res.Stopped
 		printCombined(res)
 	case "joint":
-		res, err := cmetiling.OptimizeJoint(nest, opt)
+		res, err := cmetiling.OptimizeJointContext(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
+		stopped = res.Stopped
 		printCombined(res)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+
+	if stopped != cmetiling.StopConverged {
+		fmt.Printf("\nsearch stopped early (%v); result above is best-so-far\n", stopped)
+	}
+	cliutil.Exit(0)
 }
 
 func printCombined(res *cmetiling.CombinedResult) {
@@ -126,6 +179,5 @@ func printCombined(res *cmetiling.CombinedResult) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tilegen:", err)
-	os.Exit(1)
+	cliutil.Fatal("tilegen", err)
 }

@@ -39,6 +39,7 @@
 package cmetiling
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -47,6 +48,7 @@ import (
 	"repro/internal/cme"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/ga"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
 	"repro/internal/kernels"
@@ -123,39 +125,105 @@ type (
 	Kernel = kernels.Kernel
 )
 
+// Search runtime: every search is cancellable, deadline- and
+// budget-bounded, and degrades gracefully to its best-so-far result.
+type (
+	// StopReason explains why a search ended (StopConverged is the
+	// paper's Figure-7 schedule; the others mark bounded runs whose
+	// results are still valid best-so-far candidates).
+	StopReason = ga.StopReason
+	// Progress is the per-generation report delivered to
+	// Options.Progress.
+	Progress = ga.Progress
+	// Checkpoint is a resumable generation-boundary snapshot of a
+	// search, written through Options.Checkpoint and restored through
+	// Options.ResumeFrom.
+	Checkpoint = ga.Checkpoint
+)
+
+// The stop reasons a bounded search can report.
+const (
+	StopConverged = ga.StopConverged
+	StopDeadline  = ga.StopDeadline
+	StopBudget    = ga.StopBudget
+	StopCancelled = ga.StopCancelled
+)
+
+// WriteCheckpoint and ReadCheckpoint (de)serialise search snapshots as
+// JSON for persistence across processes.
+var (
+	WriteCheckpoint = ga.WriteCheckpoint
+	ReadCheckpoint  = ga.ReadCheckpoint
+)
+
 // OptimizeTiling searches tile sizes with the CME+GA method of §3.
 func OptimizeTiling(nest *Nest, opt Options) (*TilingResult, error) {
-	return core.OptimizeTiling(nest, opt)
+	return core.OptimizeTiling(context.Background(), nest, opt)
+}
+
+// OptimizeTilingContext is OptimizeTiling bounded by a context: on
+// cancellation or deadline expiry the search stops at the next candidate
+// boundary and returns the best tile found so far, with the reason in
+// TilingResult.Stopped — not an error.
+func OptimizeTilingContext(ctx context.Context, nest *Nest, opt Options) (*TilingResult, error) {
+	return core.OptimizeTiling(ctx, nest, opt)
 }
 
 // OptimizeTilingOrder searches tile sizes together with the interchange
 // order of the tile loops — the full "strip-mining + interchange" space
 // (an extension of the paper's fixed-order search).
 func OptimizeTilingOrder(nest *Nest, opt Options) (*OrderedTilingResult, error) {
-	return core.OptimizeTilingOrder(nest, opt)
+	return core.OptimizeTilingOrder(context.Background(), nest, opt)
+}
+
+// OptimizeTilingOrderContext is OptimizeTilingOrder bounded by a context.
+func OptimizeTilingOrderContext(ctx context.Context, nest *Nest, opt Options) (*OrderedTilingResult, error) {
+	return core.OptimizeTilingOrder(ctx, nest, opt)
 }
 
 // OptimizeTilingMultiLevel searches tile sizes against a whole cache
 // hierarchy, minimising the penalty-weighted replacement-miss cost (an
 // extension; the paper evaluates one level at a time).
 func OptimizeTilingMultiLevel(nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
-	return core.OptimizeTilingMultiLevel(nest, levels, opt)
+	return core.OptimizeTilingMultiLevel(context.Background(), nest, levels, opt)
+}
+
+// OptimizeTilingMultiLevelContext is OptimizeTilingMultiLevel bounded by a
+// context.
+func OptimizeTilingMultiLevelContext(ctx context.Context, nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+	return core.OptimizeTilingMultiLevel(ctx, nest, levels, opt)
 }
 
 // OptimizePadding searches inter-/intra-array padding (§4.3, [28]).
 func OptimizePadding(nest *Nest, opt Options) (*PaddingResult, error) {
-	return core.OptimizePadding(nest, opt)
+	return core.OptimizePadding(context.Background(), nest, opt)
+}
+
+// OptimizePaddingContext is OptimizePadding bounded by a context.
+func OptimizePaddingContext(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
+	return core.OptimizePadding(ctx, nest, opt)
 }
 
 // OptimizePaddingThenTiling runs the two searches sequentially (Table 3).
 func OptimizePaddingThenTiling(nest *Nest, opt Options) (*CombinedResult, error) {
-	return core.OptimizePaddingThenTiling(nest, opt)
+	return core.OptimizePaddingThenTiling(context.Background(), nest, opt)
+}
+
+// OptimizePaddingThenTilingContext is OptimizePaddingThenTiling bounded by
+// a context covering both phases.
+func OptimizePaddingThenTilingContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
+	return core.OptimizePaddingThenTiling(ctx, nest, opt)
 }
 
 // OptimizeJoint searches padding and tiling in a single genome (the
 // paper's stated future work).
 func OptimizeJoint(nest *Nest, opt Options) (*CombinedResult, error) {
-	return core.OptimizeJoint(nest, opt)
+	return core.OptimizeJoint(context.Background(), nest, opt)
+}
+
+// OptimizeJointContext is OptimizeJoint bounded by a context.
+func OptimizeJointContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
+	return core.OptimizeJoint(ctx, nest, opt)
 }
 
 // Simulate runs the nest's full reference trace through a trace-driven

@@ -1,13 +1,17 @@
-// Package cliutil holds the small argument parsers shared by the command
-// line tools: cache-geometry specs and tile vectors.
+// Package cliutil holds the small helpers shared by the command line
+// tools: cache-geometry and tile-vector parsers, a single exit path that
+// flushes buffered output, and checkpoint-file persistence.
 package cliutil
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/ga"
 )
 
 // ParseCache parses "8k", "32k" (the paper's two configurations) or a
@@ -50,4 +54,54 @@ func ParseTile(s string, depth int) ([]int64, error) {
 		tile[i] = v
 	}
 	return tile, nil
+}
+
+// osExit is swapped out by tests.
+var osExit = os.Exit
+
+// Exit is the single exit path for the command line tools: it flushes
+// stdout and stderr (best-effort; pipes and terminals report ENOTTY/EINVAL
+// on Sync, which is fine) so a bounded or interrupted run never loses its
+// partially written report, then terminates with the given code.
+func Exit(code int) {
+	_ = os.Stdout.Sync()
+	_ = os.Stderr.Sync()
+	osExit(code)
+}
+
+// Fatal reports err on stderr prefixed with the tool name and exits 1
+// through Exit.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	Exit(1)
+}
+
+// SaveCheckpoint atomically writes a search snapshot to path: it writes a
+// temporary file in the same directory and renames it into place, so an
+// interrupt mid-write can never leave a truncated checkpoint behind.
+func SaveCheckpoint(path string, c *ga.Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ga.WriteCheckpoint(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a snapshot previously written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*ga.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ga.ReadCheckpoint(f)
 }

@@ -10,13 +10,22 @@
 // parameters for the kernels whose residual misses are conflicts (§4.3),
 // sequentially (pad then tile, as in Table 3) or jointly in one genome
 // (the paper's stated future work).
+//
+// Every search is bounded and interruptible: it honours its
+// context.Context (cancellation and deadlines), an optional evaluation
+// budget, and always returns the best candidate found so far tagged with
+// a ga.StopReason instead of failing. Checkpoints written at generation
+// boundaries make an interrupted search resumable bit-for-bit.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"runtime"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cachesim"
@@ -44,6 +53,29 @@ type Options struct {
 	GA ga.Config
 	// Seed makes the whole search deterministic.
 	Seed uint64
+
+	// Deadline bounds the search's wall-clock time (0 = none). It is a
+	// duration from the start of the search, layered on top of whatever
+	// deadline the caller's context already carries; whichever expires
+	// first stops the search with ga.StopDeadline and the best-so-far
+	// result. For the sequential padding+tiling search it bounds the two
+	// phases together.
+	Deadline time.Duration
+	// MaxEvaluations caps distinct objective evaluations per GA run
+	// (0 = unlimited); exhausting it stops the search with ga.StopBudget.
+	MaxEvaluations int
+	// Progress, when non-nil, is invoked after every GA generation with
+	// the generation number, best fitness, evaluations spent and elapsed
+	// wall-clock time.
+	Progress func(ga.Progress)
+	// Checkpoint, when non-nil, receives a resumable snapshot after every
+	// completed GA generation. For the sequential padding+tiling search
+	// only the tiling phase is checkpointed.
+	Checkpoint func(*ga.Checkpoint) error
+	// ResumeFrom restarts the GA from a snapshot previously delivered to
+	// Checkpoint; the resumed search reproduces the uninterrupted one
+	// exactly (same nest, options and seed required).
+	ResumeFrom *ga.Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +91,59 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// searchContext derives the context governing one search from the
+// caller's context and the Deadline option.
+func (o Options) searchContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline > 0 {
+		return context.WithTimeout(ctx, o.Deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// gaRuntime copies the Options runtime controls (budget, progress,
+// checkpointing) into a GA configuration, tagging checkpoints with the
+// search-phase label.
+func (o Options) gaRuntime(cfg ga.Config, label string) ga.Config {
+	if cfg.MaxEvaluations == 0 {
+		cfg.MaxEvaluations = o.MaxEvaluations
+	}
+	if cfg.OnProgress == nil {
+		cfg.OnProgress = o.Progress
+	}
+	if cfg.Checkpoint == nil {
+		cfg.Checkpoint = o.Checkpoint
+	}
+	if cfg.ResumeFrom == nil {
+		cfg.ResumeFrom = o.ResumeFrom
+	}
+	if cfg.Label == "" {
+		cfg.Label = label
+	}
+	return cfg
+}
+
+// errSink collects the first genuine evaluation error of a search.
+// Cancellation and deadline expiry are not errors — the GA engine turns
+// them into a StopReason and the search still returns its best-so-far.
+type errSink struct{ err error }
+
+func (s *errSink) note(err error) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// poison is the objective value of a candidate whose evaluation failed or
+// was cut short: never competitive, so a truncated evaluation can never
+// masquerade as the best-so-far.
+func poison() float64 { return math.Inf(1) }
 
 // evaluator owns the fixed sample shared by every candidate of one search
 // (common random numbers: the fitness is deterministic and comparisons are
@@ -95,22 +180,22 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 var evalWorkers = min(8, runtime.NumCPU())
 
 // tiled evaluates a tile vector over (a possibly padded copy of) the nest.
-func (e *evaluator) tiled(nest *ir.Nest, tile []int64) (cachesim.Stats, error) {
+func (e *evaluator) tiled(ctx context.Context, nest *ir.Nest, tile []int64) (cachesim.Stats, error) {
 	space := iterspace.NewTiled(e.box, tile)
 	an, err := cme.NewAnalyzer(nest, space, e.cfg)
 	if err != nil {
 		return cachesim.Stats{}, err
 	}
-	return e.sample.EvaluateParallel(an, evalWorkers), nil
+	return e.sample.EvaluateContext(ctx, an, evalWorkers)
 }
 
 // untiled evaluates the nest in original order.
-func (e *evaluator) untiled(nest *ir.Nest) (cachesim.Stats, error) {
+func (e *evaluator) untiled(ctx context.Context, nest *ir.Nest) (cachesim.Stats, error) {
 	an, err := cme.NewAnalyzer(nest, e.box, e.cfg)
 	if err != nil {
 		return cachesim.Stats{}, err
 	}
-	return e.sample.EvaluateParallel(an, evalWorkers), nil
+	return e.sample.EvaluateContext(ctx, an, evalWorkers)
 }
 
 func (e *evaluator) estimate(st cachesim.Stats) sampling.Estimate {
@@ -130,11 +215,19 @@ type TilingResult struct {
 	Space *iterspace.Tiled
 	// GA is the raw search trace.
 	GA ga.Result
+	// Stopped records why the search ended; Tile is the valid best-so-far
+	// for every reason, but only ga.StopConverged means the full Figure-7
+	// schedule ran.
+	Stopped ga.StopReason
 }
 
 // OptimizeTiling runs the paper's tile-size search on a rectangular nest.
-func OptimizeTiling(nest *ir.Nest, opt Options) (*TilingResult, error) {
+// The context bounds the search: on cancellation or deadline expiry the
+// best-so-far tile is returned with the matching Stopped reason.
+func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingResult, error) {
 	opt = opt.withDefaults()
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
@@ -144,24 +237,25 @@ func OptimizeTiling(nest *ir.Nest, opt Options) (*TilingResult, error) {
 		uppers[d] = ev.box.Extent(d)
 	}
 	spec := ga.NewTileSpec(uppers)
-	gaCfg := withMutationFloor(opt.GA, spec)
+	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling")
 	if len(gaCfg.SeedValues) == 0 {
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, opt.Cache)
 	}
-	var evalErr error
+	var sink errSink
 	obj := func(v []int64) float64 {
-		st, err := ev.tiled(nest, tileFromGenome(ev.box, v))
-		if err != nil && evalErr == nil {
-			evalErr = err
+		st, err := ev.tiled(ctx, nest, tileFromGenome(ev.box, v))
+		if err != nil {
+			sink.note(err)
+			return poison()
 		}
 		return float64(st.Replacement)
 	}
-	res, err := ga.Run(spec, obj, gaCfg)
+	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if evalErr != nil {
-		return nil, evalErr
+	if sink.err != nil {
+		return nil, sink.err
 	}
 
 	best := tileFromGenome(ev.box, res.Best)
@@ -169,11 +263,15 @@ func OptimizeTiling(nest *ir.Nest, opt Options) (*TilingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	beforeStats, err := ev.untiled(nest)
+	// Finalisation deliberately ignores the (possibly expired) search
+	// context: the best-so-far contract promises a fully populated
+	// result, and this tail is a bounded two evaluations.
+	fin := context.Background()
+	beforeStats, err := ev.untiled(fin, nest)
 	if err != nil {
 		return nil, err
 	}
-	afterStats, err := ev.tiled(nest, best)
+	afterStats, err := ev.tiled(fin, nest, best)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +282,7 @@ func OptimizeTiling(nest *ir.Nest, opt Options) (*TilingResult, error) {
 		TiledNest: tiledNest,
 		Space:     space,
 		GA:        res,
+		Stopped:   res.Stopped,
 	}, nil
 }
 
@@ -262,6 +361,7 @@ type OrderedTilingResult struct {
 	Before, After sampling.Estimate
 	TiledNest     *ir.Nest
 	GA            ga.Result
+	Stopped       ga.StopReason
 }
 
 // OptimizeTilingOrder extends the paper's search with the interchange half
@@ -270,8 +370,10 @@ type OrderedTilingResult struct {
 // chooses which tile loop runs outermost. For some kernels (e.g. when the
 // reuse-carrying loop should be the innermost tile loop) this beats every
 // fixed-order tiling.
-func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, error) {
+func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*OrderedTilingResult, error) {
 	opt = opt.withDefaults()
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
@@ -288,7 +390,7 @@ func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, erro
 		chroms = append(chroms, ga.NewChromosome(0, int64(k-p)))
 	}
 	spec := ga.Spec{Chroms: chroms}
-	gaCfg := withMutationFloor(opt.GA, spec)
+	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling-order")
 	if len(gaCfg.SeedValues) == 0 {
 		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
 			seed := make([]int64, len(chroms))
@@ -299,25 +401,28 @@ func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, erro
 	decode := func(v []int64) ([]int64, []int) {
 		return tileFromGenome(ev.box, v[:k]), lehmerToPerm(v[k:], k)
 	}
-	var evalErr error
+	var sink errSink
 	obj := func(v []int64) float64 {
 		tile, order := decode(v)
 		space := iterspace.NewPermutedTiled(ev.box, tile, order)
 		an, err := cme.NewAnalyzer(nest, space, ev.cfg)
 		if err != nil {
-			if evalErr == nil {
-				evalErr = err
-			}
-			return 0
+			sink.note(err)
+			return poison()
 		}
-		return float64(ev.sample.Evaluate(an).Replacement)
+		st, err := ev.sample.EvaluateContext(ctx, an, 1)
+		if err != nil {
+			sink.note(err)
+			return poison()
+		}
+		return float64(st.Replacement)
 	}
-	res, err := ga.Run(spec, obj, gaCfg)
+	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if evalErr != nil {
-		return nil, evalErr
+	if sink.err != nil {
+		return nil, sink.err
 	}
 	tile, order := decode(res.Best)
 	tiledNest, space, err := tiling.ApplyPermuted(nest, tile, order)
@@ -328,8 +433,12 @@ func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, erro
 	if err != nil {
 		return nil, err
 	}
-	afterStats := ev.sample.Evaluate(an)
-	beforeStats, err := ev.untiled(nest)
+	fin := context.Background()
+	afterStats, err := ev.sample.EvaluateContext(fin, an, 1)
+	if err != nil {
+		return nil, err
+	}
+	beforeStats, err := ev.untiled(fin, nest)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +449,7 @@ func OptimizeTilingOrder(nest *ir.Nest, opt Options) (*OrderedTilingResult, erro
 		After:     ev.estimate(afterStats),
 		TiledNest: tiledNest,
 		GA:        res,
+		Stopped:   res.Stopped,
 	}, nil
 }
 
@@ -378,7 +488,7 @@ func TileObjective(nest *ir.Nest, opt Options) (func(tile []int64) float64, *ite
 		return nil, nil, err
 	}
 	f := func(tile []int64) float64 {
-		st, err := ev.tiled(nest, tileFromGenome(ev.box, tile))
+		st, err := ev.tiled(context.Background(), nest, tileFromGenome(ev.box, tile))
 		if err != nil {
 			return float64(st.Accesses + 1) // poison invalid candidates
 		}
@@ -393,55 +503,58 @@ type PaddingResult struct {
 	Before, After sampling.Estimate
 	PaddedNest    *ir.Nest
 	GA            ga.Result
+	Stopped       ga.StopReason
 }
 
 // OptimizePadding searches inter- and intra-array padding with the GA,
 // leaving the loop order untouched (Table 3's "Padding" column).
-func OptimizePadding(nest *ir.Nest, opt Options) (*PaddingResult, error) {
+func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingResult, error) {
 	opt = opt.withDefaults()
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
 	spec, decodePlan := paddingSpec(nest, opt.Cache)
-	gaCfg := withMutationFloor(opt.GA, spec)
+	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "padding")
 	if len(gaCfg.SeedValues) == 0 {
 		// Seed the identity plan: padding should never end worse than
 		// doing nothing.
 		gaCfg.SeedValues = [][]int64{make([]int64, len(spec.Chroms))}
 	}
-	var evalErr error
+	var sink errSink
 	obj := func(v []int64) float64 {
 		padded, err := padding.Apply(nest, decodePlan(v))
 		if err != nil {
-			if evalErr == nil {
-				evalErr = err
-			}
-			return 0
+			sink.note(err)
+			return poison()
 		}
-		st, err := ev.untiled(padded)
-		if err != nil && evalErr == nil {
-			evalErr = err
+		st, err := ev.untiled(ctx, padded)
+		if err != nil {
+			sink.note(err)
+			return poison()
 		}
 		return float64(st.Replacement)
 	}
-	res, err := ga.Run(spec, obj, gaCfg)
+	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if evalErr != nil {
-		return nil, evalErr
+	if sink.err != nil {
+		return nil, sink.err
 	}
 	plan := decodePlan(res.Best)
 	padded, err := padding.Apply(nest, plan)
 	if err != nil {
 		return nil, err
 	}
-	beforeStats, err := ev.untiled(nest)
+	fin := context.Background()
+	beforeStats, err := ev.untiled(fin, nest)
 	if err != nil {
 		return nil, err
 	}
-	afterStats, err := ev.untiled(padded)
+	afterStats, err := ev.untiled(fin, padded)
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +564,7 @@ func OptimizePadding(nest *ir.Nest, opt Options) (*PaddingResult, error) {
 		After:      ev.estimate(afterStats),
 		PaddedNest: padded,
 		GA:         res,
+		Stopped:    res.Stopped,
 	}, nil
 }
 
@@ -489,14 +603,22 @@ type CombinedResult struct {
 	Tile                       []int64
 	Original, Padded, Combined sampling.Estimate
 	GA                         ga.Result
+	Stopped                    ga.StopReason
 }
 
 // OptimizePaddingThenTiling applies the two searches sequentially, exactly
 // as the paper's Table 3: first find padding that minimises replacement
 // misses of the untiled nest, then search tile sizes over the padded nest.
-func OptimizePaddingThenTiling(nest *ir.Nest, opt Options) (*CombinedResult, error) {
+// Options.Deadline bounds the two phases together; Options.MaxEvaluations
+// applies to each phase separately; checkpointing covers the tiling phase.
+func OptimizePaddingThenTiling(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedResult, error) {
 	opt = opt.withDefaults()
-	padRes, err := OptimizePadding(nest, opt)
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
+	opt.Deadline = 0 // already applied to ctx; phases must not re-arm it
+	padOpt := opt
+	padOpt.Checkpoint, padOpt.ResumeFrom = nil, nil
+	padRes, err := OptimizePadding(ctx, nest, padOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -506,9 +628,13 @@ func OptimizePaddingThenTiling(nest *ir.Nest, opt Options) (*CombinedResult, err
 	tileOpt.Seed ^= 0x5bf03635
 	tileOpt.GA.Seed1 ^= 0x5bf03635
 	tileOpt.GA.Seed2 ^= 0x9e3779b9
-	tileRes, err := OptimizeTiling(padRes.PaddedNest, tileOpt)
+	tileRes, err := OptimizeTiling(ctx, padRes.PaddedNest, tileOpt)
 	if err != nil {
 		return nil, err
+	}
+	stopped := tileRes.Stopped
+	if stopped == ga.StopConverged {
+		stopped = padRes.Stopped
 	}
 	return &CombinedResult{
 		Plan:     padRes.Plan,
@@ -517,6 +643,7 @@ func OptimizePaddingThenTiling(nest *ir.Nest, opt Options) (*CombinedResult, err
 		Padded:   padRes.After,
 		Combined: tileRes.After,
 		GA:       tileRes.GA,
+		Stopped:  stopped,
 	}, nil
 }
 
@@ -524,8 +651,10 @@ func OptimizePaddingThenTiling(nest *ir.Nest, opt Options) (*CombinedResult, err
 // single-step combination the paper leaves as future work (§4.3), which
 // can beat the sequential composition when the best padding for the
 // untiled order is not the best padding under tiling.
-func OptimizeJoint(nest *ir.Nest, opt Options) (*CombinedResult, error) {
+func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedResult, error) {
 	opt = opt.withDefaults()
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
@@ -538,37 +667,36 @@ func OptimizeJoint(nest *ir.Nest, opt Options) (*CombinedResult, error) {
 	tileSpec := ga.NewTileSpec(uppers)
 	joint := ga.Spec{Chroms: append(append([]ga.Chromosome(nil), padSpec.Chroms...), tileSpec.Chroms...)}
 	nPad := len(padSpec.Chroms)
-	opt.GA = withMutationFloor(opt.GA, joint)
-	if len(opt.GA.SeedValues) == 0 {
+	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, joint), "joint")
+	if len(gaCfg.SeedValues) == 0 {
 		// Seed zero-padding combined with each tile heuristic.
 		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
 			seed := make([]int64, nPad+len(tile))
 			copy(seed[nPad:], tile)
-			opt.GA.SeedValues = append(opt.GA.SeedValues, seed)
+			gaCfg.SeedValues = append(gaCfg.SeedValues, seed)
 		}
 	}
 
-	var evalErr error
+	var sink errSink
 	obj := func(v []int64) float64 {
 		padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
 		if err != nil {
-			if evalErr == nil {
-				evalErr = err
-			}
-			return 0
+			sink.note(err)
+			return poison()
 		}
-		st, err := ev.tiled(padded, tileFromGenome(ev.box, v[nPad:]))
-		if err != nil && evalErr == nil {
-			evalErr = err
+		st, err := ev.tiled(ctx, padded, tileFromGenome(ev.box, v[nPad:]))
+		if err != nil {
+			sink.note(err)
+			return poison()
 		}
 		return float64(st.Replacement)
 	}
-	res, err := ga.Run(joint, obj, opt.GA)
+	res, err := ga.Run(ctx, joint, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if evalErr != nil {
-		return nil, evalErr
+	if sink.err != nil {
+		return nil, sink.err
 	}
 	plan := decodePlan(res.Best[:nPad])
 	tile := tileFromGenome(ev.box, res.Best[nPad:])
@@ -576,15 +704,16 @@ func OptimizeJoint(nest *ir.Nest, opt Options) (*CombinedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	origStats, err := ev.untiled(nest)
+	fin := context.Background()
+	origStats, err := ev.untiled(fin, nest)
 	if err != nil {
 		return nil, err
 	}
-	padStats, err := ev.untiled(padded)
+	padStats, err := ev.untiled(fin, padded)
 	if err != nil {
 		return nil, err
 	}
-	combStats, err := ev.tiled(padded, tile)
+	combStats, err := ev.tiled(fin, padded, tile)
 	if err != nil {
 		return nil, err
 	}
@@ -595,14 +724,20 @@ func OptimizeJoint(nest *ir.Nest, opt Options) (*CombinedResult, error) {
 		Padded:   ev.estimate(padStats),
 		Combined: ev.estimate(combStats),
 		GA:       res,
+		Stopped:  res.Stopped,
 	}, nil
 }
 
 // ExhaustiveTiling enumerates every tile vector (the optimality reference
 // the paper compares against) and returns the best under the same sampled
-// objective. It refuses search spaces larger than limit candidates.
-func ExhaustiveTiling(nest *ir.Nest, opt Options, limit uint64) ([]int64, cachesim.Stats, error) {
+// objective. It refuses search spaces larger than limit candidates and
+// returns the context's error if cancelled mid-enumeration (a truncated
+// exhaustive sweep is not a reference result).
+func ExhaustiveTiling(ctx context.Context, nest *ir.Nest, opt Options, limit uint64) ([]int64, cachesim.Stats, error) {
 	opt = opt.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, cachesim.Stats{}, err
@@ -623,7 +758,10 @@ func ExhaustiveTiling(nest *ir.Nest, opt Options, limit uint64) ([]int64, caches
 	var bestStats cachesim.Stats
 	bestMisses := uint64(1<<63 - 1)
 	for {
-		st, err := ev.tiled(nest, tile)
+		if err := ctx.Err(); err != nil {
+			return nil, cachesim.Stats{}, err
+		}
+		st, err := ev.tiled(ctx, nest, tile)
 		if err != nil {
 			return nil, cachesim.Stats{}, err
 		}

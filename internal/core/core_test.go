@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -80,7 +81,7 @@ func testOpt(seed uint64) Options {
 // confirmed by full trace simulation (not just the sampled objective).
 func TestOptimizeTilingTransposeEndToEnd(t *testing.T) {
 	nest := transpose(64) // 2 × 32KB arrays through a 2KB cache
-	res, err := OptimizeTiling(nest, testOpt(42))
+	res, err := OptimizeTiling(context.Background(), nest, testOpt(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +107,11 @@ func TestOptimizeTilingTransposeEndToEnd(t *testing.T) {
 
 func TestOptimizeTilingDeterministic(t *testing.T) {
 	nest := transpose(32)
-	a, err := OptimizeTiling(nest, testOpt(7))
+	a, err := OptimizeTiling(context.Background(), nest, testOpt(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := OptimizeTiling(nest, testOpt(7))
+	b, err := OptimizeTiling(context.Background(), nest, testOpt(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestGANearOptimal(t *testing.T) {
 	nest := transpose(16) // 2 × 2KB arrays
 	opt := testOpt(11)
 	opt.Cache = cache.Config{Size: 512, LineSize: 32, Assoc: 1}
-	res, err := OptimizeTiling(nest, opt)
+	res, err := OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, bestStats, err := ExhaustiveTiling(nest, opt, 1<<20)
+	_, bestStats, err := ExhaustiveTiling(context.Background(), nest, opt, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestGANearOptimal(t *testing.T) {
 
 func TestExhaustiveTilingLimit(t *testing.T) {
 	nest := transpose(64)
-	if _, _, err := ExhaustiveTiling(nest, testOpt(1), 100); err == nil {
+	if _, _, err := ExhaustiveTiling(context.Background(), nest, testOpt(1), 100); err == nil {
 		t.Fatal("limit not enforced")
 	}
 }
@@ -162,7 +163,7 @@ func TestOptimizePaddingRemovesConflicts(t *testing.T) {
 	cfg := cache.Config{Size: 512, LineSize: 32, Assoc: 1}
 	nest := conflictPair(512, cfg.Size)
 	opt := Options{Cache: cfg, Seed: 5}
-	res, err := OptimizePadding(nest, opt)
+	res, err := OptimizePadding(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,15 +185,15 @@ func TestPaddingThenTiling(t *testing.T) {
 	nest := addLike(24, cfg.Size) // m-plane 24*24*8 = 4.5KB > cache
 	opt := Options{Cache: cfg, Seed: 9}
 
-	tileOnly, err := OptimizeTiling(nest, opt)
+	tileOnly, err := OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	padOnly, err := OptimizePadding(nest, opt)
+	padOnly, err := OptimizePadding(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	both, err := OptimizePaddingThenTiling(nest, opt)
+	both, err := OptimizePaddingThenTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestOptimizeJoint(t *testing.T) {
 	opt = opt.withDefaults()
 	opt.GA.MinGens = 40
 	opt.GA.MaxGens = 70
-	res, err := OptimizeJoint(nest, opt)
+	res, err := OptimizeJoint(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,10 +246,10 @@ func TestOptionsDefaults(t *testing.T) {
 func TestOptimizeTilingRejectsBadNest(t *testing.T) {
 	nest := transpose(8)
 	nest.Loops[0].Step = 3
-	if _, err := OptimizeTiling(nest, testOpt(1)); err == nil {
+	if _, err := OptimizeTiling(context.Background(), nest, testOpt(1)); err == nil {
 		t.Fatal("non-rectangular nest accepted")
 	}
-	if _, err := OptimizePadding(nest, testOpt(1)); err == nil {
+	if _, err := OptimizePadding(context.Background(), nest, testOpt(1)); err == nil {
 		t.Fatal("padding accepted non-rectangular nest")
 	}
 }
@@ -260,11 +261,11 @@ func TestOptimizeTilingRejectsBadNest(t *testing.T) {
 func TestOptimizeTilingOrder(t *testing.T) {
 	k := transpose(48)
 	opt := testOpt(23)
-	fixed, err := OptimizeTiling(k, opt)
+	fixed, err := OptimizeTiling(context.Background(), k, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ordered, err := OptimizeTilingOrder(k, opt)
+	ordered, err := OptimizeTilingOrder(context.Background(), k, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -45,7 +46,7 @@ func TestTileObjective(t *testing.T) {
 func TestBestInterchange(t *testing.T) {
 	nest := transpose(48)
 	opt := Options{Cache: cache.Config{Size: 1024, LineSize: 32, Assoc: 1}, Seed: 4}
-	best, order, err := BestInterchange(nest, opt)
+	best, order, err := BestInterchange(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestBestInterchange(t *testing.T) {
 	}
 	bad := transpose(8)
 	bad.Loops[0].Step = 2
-	if _, _, err := BestInterchange(bad, opt); err == nil {
+	if _, _, err := BestInterchange(context.Background(), bad, opt); err == nil {
 		t.Fatal("non-rectangular accepted")
 	}
 }
@@ -73,13 +74,13 @@ func TestBestInterchange(t *testing.T) {
 func TestOrderedAndMultiLevelErrors(t *testing.T) {
 	bad := transpose(8)
 	bad.Loops[0].Step = 2
-	if _, err := OptimizeTilingOrder(bad, Options{Cache: cache.DM8K}); err == nil {
+	if _, err := OptimizeTilingOrder(context.Background(), bad, Options{Cache: cache.DM8K}); err == nil {
 		t.Fatal("order search accepted non-rectangular nest")
 	}
-	if _, err := OptimizeJoint(bad, Options{Cache: cache.DM8K}); err == nil {
+	if _, err := OptimizeJoint(context.Background(), bad, Options{Cache: cache.DM8K}); err == nil {
 		t.Fatal("joint search accepted non-rectangular nest")
 	}
-	if _, err := OptimizePaddingThenTiling(bad, Options{Cache: cache.DM8K}); err == nil {
+	if _, err := OptimizePaddingThenTiling(context.Background(), bad, Options{Cache: cache.DM8K}); err == nil {
 		t.Fatal("sequential search accepted non-rectangular nest")
 	}
 }

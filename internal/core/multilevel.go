@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -34,6 +35,7 @@ type MultiLevelResult struct {
 	Levels    []LevelEstimate
 	TiledNest *ir.Nest
 	GA        ga.Result
+	Stopped   ga.StopReason
 	// CostBefore/CostAfter are the weighted replacement-miss costs per
 	// sampled access.
 	CostBefore, CostAfter float64
@@ -42,8 +44,10 @@ type MultiLevelResult struct {
 // OptimizeTilingMultiLevel extends the single-cache search to a cache
 // hierarchy: the objective is the penalty-weighted sum of replacement
 // misses across levels, so the GA trades L1 residency against L2
-// residency instead of optimising one level blindly.
-func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+// residency instead of optimising one level blindly. Like the other
+// searches it is context-bounded and returns a best-so-far tile tagged
+// with the Stopped reason on cancellation, deadline or budget exhaustion.
+func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("core: no cache levels")
 	}
@@ -56,6 +60,8 @@ func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*Mult
 		}
 	}
 	opt = opt.withDefaults()
+	ctx, cancel := opt.searchContext(ctx)
+	defer cancel()
 	opt.Cache = levels[0].Cache // evaluator's cfg is unused per-level below
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
@@ -66,12 +72,12 @@ func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*Mult
 		uppers[d] = ev.box.Extent(d)
 	}
 	spec := ga.NewTileSpec(uppers)
-	gaCfg := withMutationFloor(opt.GA, spec)
+	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "multilevel")
 	if len(gaCfg.SeedValues) == 0 {
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, levels[0].Cache)
 	}
 
-	cost := func(tile []int64) (float64, error) {
+	cost := func(evalCtx context.Context, tile []int64) (float64, error) {
 		space := iterspace.NewTiled(ev.box, tile)
 		var c float64
 		for _, l := range levels {
@@ -79,32 +85,38 @@ func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*Mult
 			if err != nil {
 				return 0, err
 			}
-			c += l.MissPenalty * float64(ev.sample.Evaluate(an).Replacement)
+			st, err := ev.sample.EvaluateContext(evalCtx, an, 1)
+			if err != nil {
+				return 0, err
+			}
+			c += l.MissPenalty * float64(st.Replacement)
 		}
 		return c, nil
 	}
-	var evalErr error
+	var sink errSink
 	obj := func(v []int64) float64 {
-		c, err := cost(tileFromGenome(ev.box, v))
-		if err != nil && evalErr == nil {
-			evalErr = err
+		c, err := cost(ctx, tileFromGenome(ev.box, v))
+		if err != nil {
+			sink.note(err)
+			return poison()
 		}
 		return c
 	}
-	res, err := ga.Run(spec, obj, gaCfg)
+	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if evalErr != nil {
-		return nil, evalErr
+	if sink.err != nil {
+		return nil, sink.err
 	}
 	best := tileFromGenome(ev.box, res.Best)
 	tiledNest, space, err := tiling.Apply(nest, best)
 	if err != nil {
 		return nil, err
 	}
-	out := &MultiLevelResult{Tile: best, TiledNest: tiledNest, GA: res}
+	out := &MultiLevelResult{Tile: best, TiledNest: tiledNest, GA: res, Stopped: res.Stopped}
 	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
+	fin := context.Background()
 	for _, l := range levels {
 		anU, err := cme.NewAnalyzer(nest, ev.box, l.Cache)
 		if err != nil {
@@ -114,8 +126,14 @@ func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*Mult
 		if err != nil {
 			return nil, err
 		}
-		before := ev.sample.Evaluate(anU)
-		after := ev.sample.Evaluate(anT)
+		before, err := ev.sample.EvaluateContext(fin, anU, 1)
+		if err != nil {
+			return nil, err
+		}
+		after, err := ev.sample.EvaluateContext(fin, anT, 1)
+		if err != nil {
+			return nil, err
+		}
 		out.Levels = append(out.Levels, LevelEstimate{
 			Level:  l,
 			Before: ev.estimate(before),
@@ -129,9 +147,13 @@ func OptimizeTilingMultiLevel(nest *ir.Nest, levels []Level, opt Options) (*Mult
 
 // BestInterchange evaluates every loop order of the nest under the shared
 // sampled objective WITHOUT tiling and returns the best replacement ratio
-// and its order. Factorial in depth; the paper's kernels are ≤4 deep.
-func BestInterchange(nest *ir.Nest, opt Options) (float64, []int, error) {
+// and its order. Factorial in depth; the paper's kernels are ≤4 deep. It
+// returns the context's error if cancelled mid-enumeration.
+func BestInterchange(ctx context.Context, nest *ir.Nest, opt Options) (float64, []int, error) {
 	opt = opt.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return 0, nil, err
@@ -142,13 +164,19 @@ func BestInterchange(nest *ir.Nest, opt Options) (float64, []int, error) {
 	var rec func(avail []int, cur []int) error
 	rec = func(avail []int, cur []int) error {
 		if len(avail) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			space := iterspace.NewPermutedBox(ev.box, cur)
 			an, err := cme.NewAnalyzer(nest, space, ev.cfg)
 			if err != nil {
 				return err
 			}
-			ratio := ev.sample.Evaluate(an).ReplacementRatio()
-			if ratio < best {
+			st, err := ev.sample.EvaluateContext(ctx, an, 1)
+			if err != nil {
+				return err
+			}
+			if ratio := st.ReplacementRatio(); ratio < best {
 				best = ratio
 				bestOrder = append([]int(nil), cur...)
 			}

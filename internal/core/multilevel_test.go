@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"repro/internal/ir"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestOptimizeTilingMultiLevel(t *testing.T) {
 		{Cache: cache.Config{Size: 2048, LineSize: 32, Assoc: 1}, MissPenalty: 10},
 		{Cache: cache.Config{Size: 16 * 1024, LineSize: 32, Assoc: 1}, MissPenalty: 100},
 	}
-	res, err := OptimizeTilingMultiLevel(nest, levels, Options{Seed: 33})
+	res, err := OptimizeTilingMultiLevel(context.Background(), nest, levels, Options{Seed: 33})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,15 +36,15 @@ func TestOptimizeTilingMultiLevel(t *testing.T) {
 
 func TestOptimizeTilingMultiLevelErrors(t *testing.T) {
 	nest := transpose(16)
-	if _, err := OptimizeTilingMultiLevel(nest, nil, Options{}); err == nil {
+	if _, err := OptimizeTilingMultiLevel(context.Background(), nest, nil, Options{}); err == nil {
 		t.Fatal("empty levels accepted")
 	}
 	bad := []Level{{Cache: cache.Config{Size: 100, LineSize: 32, Assoc: 1}, MissPenalty: 1}}
-	if _, err := OptimizeTilingMultiLevel(nest, bad, Options{}); err == nil {
+	if _, err := OptimizeTilingMultiLevel(context.Background(), nest, bad, Options{}); err == nil {
 		t.Fatal("invalid cache accepted")
 	}
 	neg := []Level{{Cache: cache.DM8K, MissPenalty: 0}}
-	if _, err := OptimizeTilingMultiLevel(nest, neg, Options{}); err == nil {
+	if _, err := OptimizeTilingMultiLevel(context.Background(), nest, neg, Options{}); err == nil {
 		t.Fatal("zero penalty accepted")
 	}
 }
@@ -57,11 +58,11 @@ func TestMultiLevelBeatsL1OnlyOnL2(t *testing.T) {
 	l2 := cache.Config{Size: 16 * 1024, LineSize: 32, Assoc: 1}
 	levels := []Level{{Cache: l1, MissPenalty: 10}, {Cache: l2, MissPenalty: 100}}
 
-	multi, err := OptimizeTilingMultiLevel(nest, levels, Options{Seed: 44})
+	multi, err := OptimizeTilingMultiLevel(context.Background(), nest, levels, Options{Seed: 44})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1only, err := OptimizeTiling(nest, Options{Cache: l1, Seed: 44})
+	l1only, err := OptimizeTiling(context.Background(), nest, Options{Cache: l1, Seed: 44})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func tileCost(t *testing.T, nest *ir.Nest, levels []Level, tile []int64) float64
 	for _, l := range levels {
 		e2 := *ev
 		e2.cfg = l.Cache
-		st, err := e2.tiled(nest, tile)
+		st, err := e2.tiled(context.Background(), nest, tile)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ga"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+)
+
+// requireValidTiling asserts the best-so-far contract: whatever stopped the
+// search, the result must carry a decodable tile of the right rank with
+// positive entries, a transformed nest, and finite estimates.
+func requireValidTiling(t *testing.T, res *TilingResult, depth int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if len(res.Tile) != depth {
+		t.Fatalf("tile %v has rank %d, want %d", res.Tile, len(res.Tile), depth)
+	}
+	for d, v := range res.Tile {
+		if v < 1 {
+			t.Fatalf("tile dimension %d is %d", d, v)
+		}
+	}
+	if res.TiledNest == nil {
+		t.Fatal("nil tiled nest")
+	}
+	if err := res.TiledNest.Validate(); err != nil {
+		t.Fatalf("tiled nest invalid: %v", err)
+	}
+}
+
+// TestDeadlineReturnsBestSoFar: a deadline far shorter than the search
+// still yields a valid tile, tagged StopDeadline — not an error.
+func TestDeadlineReturnsBestSoFar(t *testing.T) {
+	nest := transpose(256)
+	opt := testOpt(5)
+	opt.Deadline = time.Millisecond
+	res, err := OptimizeTiling(context.Background(), nest, opt)
+	if err != nil {
+		t.Fatalf("deadline surfaced as error: %v", err)
+	}
+	requireValidTiling(t, res, nest.Depth())
+	if res.Stopped != ga.StopDeadline {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, ga.StopDeadline)
+	}
+}
+
+// TestExpiredContextReturnsBestSoFar: even a context that is already dead
+// on entry produces a valid result (the first candidate is force-evaluated).
+func TestExpiredContextReturnsBestSoFar(t *testing.T) {
+	nest := transpose(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimizeTiling(ctx, nest, testOpt(5))
+	if err != nil {
+		t.Fatalf("cancelled context surfaced as error: %v", err)
+	}
+	requireValidTiling(t, res, nest.Depth())
+	if res.Stopped != ga.StopCancelled {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, ga.StopCancelled)
+	}
+}
+
+// TestBudgetReturnsBestSoFar: a 10-evaluation budget halts the GA with
+// StopBudget and at most 10 distinct evaluations, still returning a tile.
+func TestBudgetReturnsBestSoFar(t *testing.T) {
+	nest := transpose(64)
+	opt := testOpt(5)
+	opt.MaxEvaluations = 10
+	res, err := OptimizeTiling(context.Background(), nest, opt)
+	if err != nil {
+		t.Fatalf("budget surfaced as error: %v", err)
+	}
+	requireValidTiling(t, res, nest.Depth())
+	if res.Stopped != ga.StopBudget {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, ga.StopBudget)
+	}
+	if res.GA.Evaluations > 10 {
+		t.Fatalf("spent %d evaluations over a budget of 10", res.GA.Evaluations)
+	}
+}
+
+// TestProgressCancelMidSearch: cancelling from the per-generation progress
+// callback stops the search at the next generation boundary with
+// StopCancelled, and progress reports arrive in order.
+func TestProgressCancelMidSearch(t *testing.T) {
+	nest := transpose(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := testOpt(5)
+	var gens []int
+	opt.Progress = func(p ga.Progress) {
+		gens = append(gens, p.Gen)
+		if p.Gen == 2 {
+			cancel()
+		}
+	}
+	res, err := OptimizeTiling(ctx, nest, opt)
+	if err != nil {
+		t.Fatalf("cancel surfaced as error: %v", err)
+	}
+	requireValidTiling(t, res, nest.Depth())
+	if res.Stopped != ga.StopCancelled {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, ga.StopCancelled)
+	}
+	if len(gens) == 0 || gens[len(gens)-1] != 2 {
+		t.Fatalf("progress generations %v, want ... ending at 2", gens)
+	}
+	if res.GA.Generations != 2 {
+		t.Fatalf("ran %d generations after cancelling at 2", res.GA.Generations)
+	}
+}
+
+// TestWorkerPanicIsError: a corrupted sample point makes an evaluation
+// worker panic; the panic must surface as an error from the evaluation (and
+// hence the search), never crash the process or hang the WaitGroup.
+func TestWorkerPanicIsError(t *testing.T) {
+	nest := transpose(64)
+	opt := testOpt(5).withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A too-short point makes exactly one worker's shard panic on index;
+	// the others must drain and the panic must come back as an error.
+	ev.sample.Points[len(ev.sample.Points)/2] = []int64{}
+	_, err = ev.tiled(context.Background(), nest, []int64{16, 16})
+	if err == nil {
+		t.Fatal("panicking worker returned no error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error %q does not mention the panic", err)
+	}
+}
+
+// TestSearchSurfacesWorkerPanic: the same corruption inside a full search
+// must fail the search with the panic error rather than return a result.
+func TestSearchSurfacesWorkerPanic(t *testing.T) {
+	nest := transpose(64)
+	opt := testOpt(5).withDefaults()
+	ev, err := newEvaluator(nest, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.sample.Points[0] = []int64{}
+	_, err = ev.tiled(context.Background(), nest, []int64{8, 8})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("tiled evaluation error = %v, want worker panic", err)
+	}
+}
+
+// interruptedSearch runs OptimizeTiling with per-generation checkpointing,
+// cancels after the checkpoint at generation stopAt, and returns the last
+// snapshot serialised through the JSON round trip (as a real resume would).
+func interruptedSearch(t *testing.T, nest *ir.Nest, opt Options, stopAt int) *ga.Checkpoint {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var latest bytes.Buffer
+	opt.Checkpoint = func(c *ga.Checkpoint) error {
+		latest.Reset()
+		if err := ga.WriteCheckpoint(&latest, c); err != nil {
+			return err
+		}
+		if c.Gen == stopAt {
+			cancel()
+		}
+		return nil
+	}
+	res, err := OptimizeTiling(ctx, nest, opt)
+	if err != nil {
+		t.Fatalf("interrupted search errored: %v", err)
+	}
+	if res.Stopped != ga.StopCancelled {
+		t.Fatalf("interrupted search Stopped = %v, want %v", res.Stopped, ga.StopCancelled)
+	}
+	ckpt, err := ga.ReadCheckpoint(&latest)
+	if err != nil {
+		t.Fatalf("reading checkpoint back: %v", err)
+	}
+	if ckpt.Gen != stopAt {
+		t.Fatalf("last checkpoint at generation %d, want %d", ckpt.Gen, stopAt)
+	}
+	return ckpt
+}
+
+// TestCheckpointResumeBitForBit: interrupt a search at generation k, resume
+// from the (JSON round-tripped) checkpoint, and require the resumed run to
+// reproduce the uninterrupted run exactly — same tile, same evaluation
+// count, same generation history — for MM and a NAS kernel.
+func TestCheckpointResumeBitForBit(t *testing.T) {
+	cases := []struct {
+		kernel string
+		size   int64
+	}{
+		{"MM", 40},
+		{"ADD", 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kernel, func(t *testing.T) {
+			k, ok := kernels.Get(tc.kernel)
+			if !ok {
+				t.Fatalf("kernel %s missing from catalog", tc.kernel)
+			}
+			nest, err := k.Instance(tc.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := testOpt(11)
+			opt.SamplePoints = 64 // keep the race-enabled run fast
+
+			full, err := OptimizeTiling(context.Background(), nest, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckpt := interruptedSearch(t, nest, opt, 2)
+
+			opt2 := opt
+			opt2.ResumeFrom = ckpt
+			resumed, err := OptimizeTiling(context.Background(), nest, opt2)
+			if err != nil {
+				t.Fatalf("resumed search errored: %v", err)
+			}
+
+			if !reflect.DeepEqual(resumed.Tile, full.Tile) {
+				t.Fatalf("resumed tile %v != uninterrupted %v", resumed.Tile, full.Tile)
+			}
+			if resumed.GA.BestValue != full.GA.BestValue {
+				t.Fatalf("resumed best %v != uninterrupted %v", resumed.GA.BestValue, full.GA.BestValue)
+			}
+			if resumed.GA.Evaluations != full.GA.Evaluations {
+				t.Fatalf("resumed evaluations %d != uninterrupted %d", resumed.GA.Evaluations, full.GA.Evaluations)
+			}
+			if resumed.GA.Generations != full.GA.Generations {
+				t.Fatalf("resumed generations %d != uninterrupted %d", resumed.GA.Generations, full.GA.Generations)
+			}
+			if !reflect.DeepEqual(resumed.GA.History, full.GA.History) {
+				t.Fatalf("resumed history diverges:\n%v\nvs uninterrupted\n%v", resumed.GA.History, full.GA.History)
+			}
+			if resumed.Stopped != ga.StopConverged {
+				t.Fatalf("resumed run Stopped = %v, want %v", resumed.Stopped, ga.StopConverged)
+			}
+		})
+	}
+}
+
+// TestResumeRejectsMismatchedSearch: a checkpoint from one search must not
+// silently seed a different one.
+func TestResumeRejectsMismatchedSearch(t *testing.T) {
+	nest := transpose(64)
+	opt := testOpt(5)
+	ckpt := interruptedSearch(t, nest, opt, 1)
+
+	bad := opt
+	bad.ResumeFrom = ckpt
+	if _, err := OptimizePadding(context.Background(), nest, bad); err == nil {
+		t.Fatal("padding search accepted a tiling checkpoint")
+	}
+}

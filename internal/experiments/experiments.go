@@ -7,7 +7,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -26,6 +28,11 @@ type Config struct {
 	Quick bool
 	// QuickCap is the size ceiling in quick mode (0 = 200).
 	QuickCap int64
+	// Deadline bounds each individual search (0 = none); bounded runs
+	// report their best-so-far tile, so the tables stay complete.
+	Deadline time.Duration
+	// MaxEvaluations caps objective evaluations per search (0 = none).
+	MaxEvaluations int
 }
 
 func (c Config) cap() int64 {
@@ -40,9 +47,11 @@ func (c Config) cap() int64 {
 
 func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 	return core.Options{
-		Cache:        cfg,
-		SamplePoints: c.SamplePoints,
-		Seed:         c.Seed*0x9e3779b97f4a7c15 + salt,
+		Cache:          cfg,
+		SamplePoints:   c.SamplePoints,
+		Seed:           c.Seed*0x9e3779b97f4a7c15 + salt,
+		Deadline:       c.Deadline,
+		MaxEvaluations: c.MaxEvaluations,
 	}
 }
 
@@ -101,7 +110,7 @@ type FigureRow struct {
 
 // Figure runs the before/after-tiling comparison of Figure 8 (cache =
 // DM8K) or Figure 9 (DM32K) for the given entries (nil = all 27).
-func Figure(cfg cache.Config, entries []Entry, c Config) ([]FigureRow, error) {
+func Figure(ctx context.Context, cfg cache.Config, entries []Entry, c Config) ([]FigureRow, error) {
 	if entries == nil {
 		entries = FigureEntries()
 	}
@@ -115,7 +124,7 @@ func Figure(cfg cache.Config, entries []Entry, c Config) ([]FigureRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.OptimizeTiling(nest, c.options(cfg, uint64(i)+1))
+		res, err := core.OptimizeTiling(ctx, nest, c.options(cfg, uint64(i)+1))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", e.Label(), err)
 		}
@@ -151,7 +160,7 @@ func Table2Entries() []Entry {
 }
 
 // Table2 regenerates Table 2.
-func Table2(c Config) ([]Table2Row, error) {
+func Table2(ctx context.Context, c Config) ([]Table2Row, error) {
 	rows := make([]Table2Row, 0, 4)
 	for i, e := range Table2Entries() {
 		k, _ := kernels.Get(e.Kernel)
@@ -160,7 +169,7 @@ func Table2(c Config) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.OptimizeTiling(nest, c.options(cache.DM8K, 100+uint64(i)))
+		res, err := core.OptimizeTiling(ctx, nest, c.options(cache.DM8K, 100+uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +208,7 @@ func Table3Entries(cfg cache.Config) []Entry {
 }
 
 // Table3 regenerates one cache's half of Table 3.
-func Table3(cfg cache.Config, c Config) ([]Table3Row, error) {
+func Table3(ctx context.Context, cfg cache.Config, c Config) ([]Table3Row, error) {
 	entries := Table3Entries(cfg)
 	rows := make([]Table3Row, 0, len(entries))
 	for i, e := range entries {
@@ -209,7 +218,7 @@ func Table3(cfg cache.Config, c Config) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.OptimizePaddingThenTiling(nest, c.options(cfg, 200+uint64(i)))
+		res, err := core.OptimizePaddingThenTiling(ctx, nest, c.options(cfg, 200+uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +290,7 @@ type ConvergenceRow struct {
 }
 
 // Convergence measures GA convergence on a set of kernels.
-func Convergence(entries []Entry, c Config) ([]ConvergenceRow, error) {
+func Convergence(ctx context.Context, entries []Entry, c Config) ([]ConvergenceRow, error) {
 	rows := make([]ConvergenceRow, 0, len(entries))
 	for i, e := range entries {
 		k, ok := kernels.Get(e.Kernel)
@@ -293,7 +302,7 @@ func Convergence(entries []Entry, c Config) ([]ConvergenceRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.OptimizeTiling(nest, c.options(cache.DM8K, 300+uint64(i)))
+		res, err := core.OptimizeTiling(ctx, nest, c.options(cache.DM8K, 300+uint64(i)))
 		if err != nil {
 			return nil, err
 		}

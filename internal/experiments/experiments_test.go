@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func TestFigure8ShapeQuick(t *testing.T) {
 	}
 	c := quick()
 	c.QuickCap = 500
-	rows, err := Figure(cache.DM8K, entries, c)
+	rows, err := Figure(context.Background(), cache.DM8K, entries, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestFigure8ShapeQuick(t *testing.T) {
 // with 4x the cache, the untiled replacement ratio does not increase.
 func TestLargerCacheDoesNotHurt(t *testing.T) {
 	entries := []Entry{{Kernel: "T2D", Size: 100}, {Kernel: "MM", Size: 100}}
-	rows8, err := Figure(cache.DM8K, entries, quick())
+	rows8, err := Figure(context.Background(), cache.DM8K, entries, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows32, err := Figure(cache.DM32K, entries, quick())
+	rows32, err := Figure(context.Background(), cache.DM32K, entries, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestLargerCacheDoesNotHurt(t *testing.T) {
 }
 
 func TestTable2Quick(t *testing.T) {
-	rows, err := Table2(quick())
+	rows, err := Table2(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestTable2Quick(t *testing.T) {
 func TestTable3Quick(t *testing.T) {
 	c := quick()
 	c.QuickCap = 128 // VPENTA needs enough rows for capacity misses
-	rows, err := Table3(cache.DM8K, c)
+	rows, err := Table3(context.Background(), cache.DM8K, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTable4(t *testing.T) {
 // 15–25 generation schedule and its evaluation count stays within the
 // nominal budget of generations × population.
 func TestConvergenceMatchesSection33(t *testing.T) {
-	rows, err := Convergence([]Entry{{Kernel: "MM", Size: 64}, {Kernel: "T2D", Size: 100}}, quick())
+	rows, err := Convergence(context.Background(), []Entry{{Kernel: "MM", Size: 64}, {Kernel: "T2D", Size: 100}}, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestCheckSampling(t *testing.T) {
 // TestAssocSweep: the extension experiment runs and higher associativity
 // does not increase the untiled replacement ratio.
 func TestAssocSweep(t *testing.T) {
-	rows, err := AssocSweep("MM", 100, []int{1, 2, 4}, quick())
+	rows, err := AssocSweep(context.Background(), "MM", 100, []int{1, 2, 4}, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,10 +243,10 @@ func TestAssocSweep(t *testing.T) {
 	if !strings.Contains(buf.String(), "ways") {
 		t.Fatal("render missing header")
 	}
-	if _, err := AssocSweep("NOPE", 0, []int{1}, quick()); err == nil {
+	if _, err := AssocSweep(context.Background(), "NOPE", 0, []int{1}, quick()); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
-	if _, err := AssocSweep("MM", 100, []int{3}, quick()); err == nil {
+	if _, err := AssocSweep(context.Background(), "MM", 100, []int{3}, quick()); err == nil {
 		t.Fatal("invalid associativity accepted")
 	}
 }
@@ -253,7 +254,7 @@ func TestAssocSweep(t *testing.T) {
 // TestInterchangeVsTiling: for the MM kernel, the best pure interchange
 // improves on the untiled order but tiling does at least as well.
 func TestInterchangeVsTiling(t *testing.T) {
-	row, err := InterchangeVsTiling("MM", 100, quick())
+	row, err := InterchangeVsTiling(context.Background(), "MM", 100, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestInterchangeVsTiling(t *testing.T) {
 	if !strings.Contains(buf.String(), "MM_100") {
 		t.Fatal("render missing row")
 	}
-	if _, err := InterchangeVsTiling("NOPE", 0, quick()); err == nil {
+	if _, err := InterchangeVsTiling(context.Background(), "NOPE", 0, quick()); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
 }

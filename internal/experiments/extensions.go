@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,7 @@ type AssocRow struct {
 
 // AssocSweep runs the before/after-tiling comparison at constant capacity
 // (8KB, 32B lines) across the given associativities.
-func AssocSweep(kernel string, size int64, assocs []int, c Config) ([]AssocRow, error) {
+func AssocSweep(ctx context.Context, kernel string, size int64, assocs []int, c Config) ([]AssocRow, error) {
 	k, ok := kernels.Get(kernel)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown kernel %s", kernel)
@@ -39,7 +40,7 @@ func AssocSweep(kernel string, size int64, assocs []int, c Config) ([]AssocRow, 
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
-		res, err := core.OptimizeTiling(nest, c.options(cfg, 400+uint64(i)))
+		res, err := core.OptimizeTiling(ctx, nest, c.options(cfg, 400+uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +72,7 @@ type InterchangeRow struct {
 // InterchangeVsTiling evaluates every loop order of the kernel (no
 // tiling) under the sampled objective and compares the best one with the
 // GA tiling result at 8KB.
-func InterchangeVsTiling(kernel string, size int64, c Config) (InterchangeRow, error) {
+func InterchangeVsTiling(ctx context.Context, kernel string, size int64, c Config) (InterchangeRow, error) {
 	k, ok := kernels.Get(kernel)
 	if !ok {
 		return InterchangeRow{}, fmt.Errorf("experiments: unknown kernel %s", kernel)
@@ -84,7 +85,7 @@ func InterchangeVsTiling(kernel string, size int64, c Config) (InterchangeRow, e
 	opt := c.options(cache.DM8K, 500)
 	row := InterchangeRow{Kernel: kernel, Size: size}
 
-	res, err := core.OptimizeTiling(nest, opt)
+	res, err := core.OptimizeTiling(ctx, nest, opt)
 	if err != nil {
 		return InterchangeRow{}, err
 	}
@@ -92,7 +93,7 @@ func InterchangeVsTiling(kernel string, size int64, c Config) (InterchangeRow, e
 	row.Tiling = res.After.ReplacementRatio
 	row.Tile = res.Tile
 
-	best, bestOrder, err := core.BestInterchange(nest, opt)
+	best, bestOrder, err := core.BestInterchange(ctx, nest, opt)
 	if err != nil {
 		return InterchangeRow{}, err
 	}

@@ -1,9 +1,12 @@
 package ga
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 )
 
 // Objective evaluates one decoded individual and returns the quantity to
@@ -52,6 +55,25 @@ type Config struct {
 	// individuals give selection a foothold. At most PopSize-1 seeds are
 	// used, so the population always keeps random diversity.
 	SeedValues [][]int64
+
+	// MaxEvaluations caps the number of distinct objective evaluations
+	// (0 = unlimited). When the budget runs out the search halts with
+	// StopBudget and returns the best individual evaluated so far. The
+	// very first individual is always evaluated so a best-so-far exists.
+	MaxEvaluations int
+	// OnProgress, when non-nil, is invoked after the initial population
+	// and after every completed generation.
+	OnProgress func(Progress)
+	// Checkpoint, when non-nil, receives a resumable snapshot at the
+	// same points OnProgress fires. A snapshot error aborts the run.
+	Checkpoint func(*Checkpoint) error
+	// ResumeFrom restarts the search from a snapshot instead of a fresh
+	// random population. The resumed run replays the interrupted one
+	// deterministically (same spec, objective and config required).
+	ResumeFrom *Checkpoint
+	// Label tags written checkpoints and is matched against ResumeFrom's
+	// label, guarding against resuming the wrong search phase.
+	Label string
 }
 
 // PaperConfig returns the parameters the paper found to give near-optimal
@@ -103,6 +125,10 @@ type Result struct {
 	Generations int     // generations executed
 	Evaluations int     // objective calls (cache misses of the memo table)
 	History     []GenStats
+	// Stopped records why the run ended. Best/BestValue are valid for
+	// every reason; only StopConverged means the Figure-7 schedule ran
+	// to its natural end.
+	Stopped StopReason
 }
 
 type individual struct {
@@ -114,48 +140,78 @@ type individual struct {
 // schedule of Figure 7 and returns the best individual found. Objective
 // values are memoised per decoded genome, so Evaluations counts distinct
 // candidate solutions examined.
-func Run(spec Spec, obj Objective, cfg Config) (Result, error) {
+//
+// The run is bounded and interruptible: it honours ctx cancellation and
+// deadlines plus cfg.MaxEvaluations, halting between objective calls and
+// returning the best-so-far Result tagged with the StopReason — never an
+// error. A generation interrupted mid-flight is discarded wholesale, so
+// the retained state always sits on a generation boundary and a
+// checkpoint written there resumes deterministically.
+func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if len(spec.Chroms) == 0 {
 		return Result{}, fmt.Errorf("ga: empty genome spec")
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed1, cfg.Seed2))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	src := rand.NewPCG(cfg.Seed1, cfg.Seed2)
+	rng := rand.New(src)
 	nbits := spec.TotalBits()
 
 	memo := map[string]float64{}
 	evals := 0
-	eval := func(ind *individual) {
+	gen := 0
+	var res Result
+	res.BestValue = math.Inf(1)
+
+	// checkHalt reports whether the run must stop before spending another
+	// objective evaluation, and why.
+	checkHalt := func() (StopReason, bool) {
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return StopDeadline, true
+			}
+			return StopCancelled, true
+		default:
+		}
+		if cfg.MaxEvaluations > 0 && evals >= cfg.MaxEvaluations {
+			return StopBudget, true
+		}
+		return StopConverged, false
+	}
+	var halted bool
+	var haltReason StopReason
+	// eval computes (or recalls) one individual's objective. It returns
+	// false when the run must halt first; the individual is then left
+	// unevaluated. force skips the halt check so the very first candidate
+	// of a run is always evaluated and a best-so-far always exists.
+	eval := func(ind *individual, force bool) bool {
 		key := string(ind.bits)
 		if v, ok := memo[key]; ok {
 			ind.value = v
-			return
+			return true
 		}
-		v := obj(spec.Decode(ind.bits))
-		memo[key] = v
-		evals++
-		ind.value = v
-	}
-
-	// Random initial population (Figure 4: "Supply a population P0"),
-	// with any heuristic seed individuals replacing the first slots.
-	pop := make([]individual, cfg.PopSize)
-	for i := range pop {
-		if i < len(cfg.SeedValues) && i < cfg.PopSize-1 {
-			pop[i].bits = spec.Encode(cfg.SeedValues[i])
-		} else {
-			pop[i].bits = make([]byte, nbits)
-			for b := range pop[i].bits {
-				pop[i].bits[b] = byte(rng.IntN(2))
+		if !force && !halted {
+			if r, h := checkHalt(); h {
+				halted, haltReason = true, r
+				return false
 			}
 		}
-		eval(&pop[i])
+		if halted {
+			return false
+		}
+		ind.value = obj(spec.Decode(ind.bits))
+		memo[key] = ind.value
+		evals++
+		return true
 	}
 
-	var res Result
-	res.BestValue = math.Inf(1)
-	record := func(gen int) GenStats {
+	record := func(pop []individual) GenStats {
 		best, sum := math.Inf(1), 0.0
 		for i := range pop {
 			sum += pop[i].value
@@ -167,6 +223,20 @@ func Run(spec Spec, obj Objective, cfg Config) (Result, error) {
 				res.Best = spec.Decode(pop[i].bits)
 			}
 		}
+		if res.Best == nil && len(pop) > 0 {
+			// Every candidate evaluated to +Inf (e.g. the context expired
+			// before the first evaluation finished and the objective
+			// poisoned it): still expose the first least-bad individual so
+			// callers always receive a decodable best-so-far.
+			bi := 0
+			for i := range pop {
+				if pop[i].value < pop[bi].value {
+					bi = i
+				}
+			}
+			res.BestValue = pop[bi].value
+			res.Best = spec.Decode(pop[bi].bits)
+		}
 		avg := sum / float64(len(pop))
 		st := GenStats{Gen: gen, Best: best, Avg: avg, BestEver: res.BestValue}
 		// §3.3: converged when the best individual's objective differs
@@ -177,13 +247,101 @@ func Run(spec Spec, obj Objective, cfg Config) (Result, error) {
 		} else {
 			st.Converged = (avg-best)/avg < cfg.ConvergeFrac
 		}
+		res.History = append(res.History, st)
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(Progress{
+				Gen: gen, Best: st.Best, Avg: st.Avg, BestEver: res.BestValue,
+				Evaluations: evals, Elapsed: time.Since(start),
+			})
+		}
 		return st
 	}
-	res.History = append(res.History, record(0))
+	snapshot := func(pop []individual) error {
+		if cfg.Checkpoint == nil {
+			return nil
+		}
+		rngState, err := src.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("ga: marshalling RNG state: %w", err)
+		}
+		cp := &Checkpoint{
+			Version:   checkpointVersion,
+			Label:     cfg.Label,
+			SpecBits:  nbits,
+			Gen:       gen,
+			Evals:     evals,
+			RNG:       rngState,
+			Pop:       make([][]byte, len(pop)),
+			Memo:      make([]MemoEntry, 0, len(memo)),
+			Best:      append([]int64(nil), res.Best...),
+			BestValue: res.BestValue,
+			History:   append([]GenStats(nil), res.History...),
+		}
+		for i := range pop {
+			cp.Pop[i] = cloneBits(pop[i].bits)
+		}
+		for k, v := range memo {
+			cp.Memo = append(cp.Memo, MemoEntry{Bits: []byte(k), Value: v})
+		}
+		return cfg.Checkpoint(cp)
+	}
 
-	// Figure 7 schedule.
-	gen := 0
-	for {
+	var pop []individual
+	if cp := cfg.ResumeFrom; cp != nil {
+		// Restore the generation-boundary state: population, RNG stream,
+		// memo, counters and history. Continuing from here replays the
+		// uninterrupted run exactly.
+		if err := cp.validate(spec, cfg); err != nil {
+			return Result{}, err
+		}
+		if err := src.UnmarshalBinary(cp.RNG); err != nil {
+			return Result{}, fmt.Errorf("ga: restoring RNG state: %w", err)
+		}
+		gen = cp.Gen
+		evals = cp.Evals
+		for _, e := range cp.Memo {
+			memo[string(e.Bits)] = e.Value
+		}
+		pop = make([]individual, len(cp.Pop))
+		for i, bits := range cp.Pop {
+			v, ok := memo[string(bits)]
+			if !ok {
+				return Result{}, fmt.Errorf("ga: checkpoint individual %d missing from memo", i)
+			}
+			pop[i] = individual{bits: cloneBits(bits), value: v}
+		}
+		res.Best = append([]int64(nil), cp.Best...)
+		res.BestValue = cp.BestValue
+		res.History = append([]GenStats(nil), cp.History...)
+	} else {
+		// Random initial population (Figure 4: "Supply a population P0"),
+		// with any heuristic seed individuals replacing the first slots.
+		pop = make([]individual, 0, cfg.PopSize)
+		for i := 0; i < cfg.PopSize; i++ {
+			var ind individual
+			if i < len(cfg.SeedValues) && i < cfg.PopSize-1 {
+				ind.bits = spec.Encode(cfg.SeedValues[i])
+			} else {
+				ind.bits = make([]byte, nbits)
+				for b := range ind.bits {
+					ind.bits[b] = byte(rng.IntN(2))
+				}
+			}
+			if !eval(&ind, i == 0) {
+				break
+			}
+			pop = append(pop, ind)
+		}
+		record(pop)
+		if !halted {
+			if err := snapshot(pop); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Figure 7 schedule, cut short by cancellation or budget exhaustion.
+	for !halted {
 		var stop bool
 		switch {
 		case gen < cfg.MinGens:
@@ -195,17 +353,35 @@ func Run(spec Spec, obj Objective, cfg Config) (Result, error) {
 		if stop {
 			break
 		}
+		if r, h := checkHalt(); h {
+			halted, haltReason = true, r
+			break
+		}
+		next, ok := nextGeneration(pop, spec, cfg, rng, eval)
+		if !ok {
+			// The partial generation is discarded: pop stays on the last
+			// completed boundary, matching the last checkpoint.
+			break
+		}
 		gen++
-		pop = nextGeneration(pop, spec, cfg, rng, eval)
-		res.History = append(res.History, record(gen))
+		pop = next
+		record(pop)
+		if err := snapshot(pop); err != nil {
+			return Result{}, err
+		}
 	}
 	res.Generations = gen
 	res.Evaluations = evals
+	if halted {
+		res.Stopped = haltReason
+	}
 	return res, nil
 }
 
-// nextGeneration applies selection, crossover and mutation (Figure 6).
-func nextGeneration(pop []individual, spec Spec, cfg Config, rng *rand.Rand, eval func(*individual)) []individual {
+// nextGeneration applies selection, crossover and mutation (Figure 6). It
+// reports false when eval halted mid-generation; the partial population is
+// then abandoned by the caller.
+func nextGeneration(pop []individual, spec Spec, cfg Config, rng *rand.Rand, eval func(*individual, bool) bool) ([]individual, bool) {
 	selected := selectRSS(pop, rng)
 	next := make([]individual, 0, len(pop))
 	// Pair consecutive selected individuals (Figure 5).
@@ -227,9 +403,11 @@ func nextGeneration(pop []individual, spec Spec, cfg Config, rng *rand.Rand, eva
 				next[i].bits[b] ^= 1
 			}
 		}
-		eval(&next[i])
+		if !eval(&next[i], false) {
+			return nil, false
+		}
 	}
-	return next
+	return next, true
 }
 
 // selectRSS implements remainder stochastic selection without replacement

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -92,7 +93,7 @@ func TestRunOptimizesSphere(t *testing.T) {
 	cfg := PaperConfig(12345)
 	cfg.MaxGens = 60
 	cfg.MinGens = 30
-	res, err := Run(spec, obj, cfg)
+	res, err := Run(context.Background(), spec, obj, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,18 +109,18 @@ func TestRunOptimizesSphere(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	spec := NewTileSpec([]int64{32, 32})
 	obj := func(v []int64) float64 { return float64((v[0]-9)*(v[0]-9)) + float64((v[1]-3)*(v[1]-3)) }
-	a, err := Run(spec, obj, PaperConfig(7))
+	a, err := Run(context.Background(), spec, obj, PaperConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(spec, obj, PaperConfig(7))
+	b, err := Run(context.Background(), spec, obj, PaperConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.BestValue != b.BestValue || a.Generations != b.Generations || a.Evaluations != b.Evaluations {
 		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
 	}
-	c, err := Run(spec, obj, PaperConfig(8))
+	c, err := Run(context.Background(), spec, obj, PaperConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestScheduleBounds(t *testing.T) {
 	spec := NewTileSpec([]int64{16})
 	obj := func(v []int64) float64 { return 0 } // flat: converges instantly
 	cfg := PaperConfig(3)
-	res, err := Run(spec, obj, cfg)
+	res, err := Run(context.Background(), spec, obj, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestScheduleBounds(t *testing.T) {
 		calls++
 		return float64(calls % 97) // effectively random, never homogeneous
 	}
-	res2, err := Run(spec, noisy, cfg)
+	res2, err := Run(context.Background(), spec, noisy, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestBestEverMonotone(t *testing.T) {
 	obj := func(v []int64) float64 {
 		return math.Abs(float64(v[0]-31)) + math.Abs(float64(v[1]-1)) + math.Abs(float64(v[2]-64))
 	}
-	res, err := Run(spec, obj, PaperConfig(99))
+	res, err := Run(context.Background(), spec, obj, PaperConfig(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestPaperEvaluationBudget(t *testing.T) {
 	spec := NewTileSpec([]int64{100, 100})
 	obj := func(v []int64) float64 { return float64(v[0] + v[1]) }
 	cfg := PaperConfig(2024)
-	res, err := Run(spec, obj, cfg)
+	res, err := Run(context.Background(), spec, obj, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestPaperEvaluationBudget(t *testing.T) {
 }
 
 func TestRunRejectsEmptySpec(t *testing.T) {
-	if _, err := Run(Spec{}, func([]int64) float64 { return 0 }, PaperConfig(1)); err == nil {
+	if _, err := Run(context.Background(), Spec{}, func([]int64) float64 { return 0 }, PaperConfig(1)); err == nil {
 		t.Fatal("empty spec accepted")
 	}
 }
@@ -214,7 +215,7 @@ func TestSeedValues(t *testing.T) {
 	}
 	cfg := PaperConfig(1)
 	cfg.SeedValues = [][]int64{target}
-	res, err := Run(spec, obj, cfg)
+	res, err := Run(context.Background(), spec, obj, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestSeedValues(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		cfg2.SeedValues = append(cfg2.SeedValues, []int64{int64(i + 1), int64(i + 1)})
 	}
-	if _, err := Run(spec, obj, cfg2); err != nil {
+	if _, err := Run(context.Background(), spec, obj, cfg2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -346,7 +347,7 @@ func TestCrossoverOperators(t *testing.T) {
 		}
 		cfg := PaperConfig(77)
 		cfg.Crossover = kind
-		res, err := Run(spec, obj, cfg)
+		res, err := Run(context.Background(), spec, obj, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,142 @@
+package ga
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// StopReason explains why a search run terminated. The zero value,
+// StopConverged, is the normal Figure-7 termination (convergence criterion
+// or generation cap); every other reason marks an externally bounded run
+// whose Result still carries the best candidate found so far.
+type StopReason int
+
+const (
+	// StopConverged is normal termination: the §3.3 convergence criterion
+	// fired inside the 15–25 generation window, or the hard generation cap
+	// was reached. Only this reason matches the paper's Figure-7 schedule.
+	StopConverged StopReason = iota
+	// StopDeadline means the context's deadline expired mid-search.
+	StopDeadline
+	// StopBudget means the MaxEvaluations budget was exhausted.
+	StopBudget
+	// StopCancelled means the context was cancelled (e.g. SIGINT).
+	StopCancelled
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopDeadline:
+		return "deadline"
+	case StopBudget:
+		return "budget"
+	case StopCancelled:
+		return "cancelled"
+	default:
+		return "converged"
+	}
+}
+
+// Progress is the per-generation report delivered to Config.OnProgress.
+type Progress struct {
+	// Gen is the generation just recorded (0 = initial population).
+	Gen int
+	// Best and Avg are the generation's best (lowest) and average
+	// objective values; BestEver is the best seen across the whole run.
+	Best, Avg, BestEver float64
+	// Evaluations is the number of distinct objective evaluations so far.
+	Evaluations int
+	// Elapsed is the wall-clock time since Run started (resumed runs
+	// count from the resume, not the original start).
+	Elapsed time.Duration
+}
+
+// MemoEntry is one (genome, objective value) pair of the evaluation memo.
+type MemoEntry struct {
+	Bits  []byte  `json:"bits"`
+	Value float64 `json:"value"`
+}
+
+// Checkpoint is a JSON-serialisable snapshot of a run taken at a
+// generation boundary. Restoring it with Config.ResumeFrom continues the
+// search deterministically: a run interrupted at generation k and resumed
+// from its checkpoint produces exactly the result of the uninterrupted
+// run, because the snapshot carries the population, the PCG state, the
+// evaluation memo and the accumulated history.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Label names the search phase that wrote the snapshot (e.g.
+	// "tiling", "padding"); resuming under a different non-empty label is
+	// rejected.
+	Label string `json:"label,omitempty"`
+	// SpecBits guards against resuming with a different genome layout.
+	SpecBits int `json:"spec_bits"`
+	// Gen is the last completed generation; Evals the objective calls
+	// spent so far.
+	Gen   int `json:"gen"`
+	Evals int `json:"evals"`
+	// RNG is the marshalled PCG state at the generation boundary.
+	RNG []byte `json:"rng"`
+	// Pop holds each individual's genome (one byte per bit).
+	Pop [][]byte `json:"pop"`
+	// Memo replays the evaluation cache so resumed runs neither re-spend
+	// budget on known genomes nor drift in their Evaluations count.
+	Memo []MemoEntry `json:"memo"`
+	// Best-so-far state and the recorded per-generation history.
+	Best      []int64    `json:"best"`
+	BestValue float64    `json:"best_value"`
+	History   []GenStats `json:"history"`
+}
+
+// checkpointVersion is bumped whenever the snapshot layout changes.
+const checkpointVersion = 1
+
+// validate checks a snapshot against the run configuration it is about to
+// restart.
+func (c *Checkpoint) validate(spec Spec, cfg Config) error {
+	switch {
+	case c.Version != checkpointVersion:
+		return fmt.Errorf("ga: checkpoint version %d (want %d)", c.Version, checkpointVersion)
+	case c.SpecBits != spec.TotalBits():
+		return fmt.Errorf("ga: checkpoint genome is %d bits, spec wants %d", c.SpecBits, spec.TotalBits())
+	case cfg.Label != "" && c.Label != "" && c.Label != cfg.Label:
+		return fmt.Errorf("ga: checkpoint labelled %q, search is %q", c.Label, cfg.Label)
+	case len(c.Pop) != cfg.PopSize:
+		return fmt.Errorf("ga: checkpoint population %d, config wants %d", len(c.Pop), cfg.PopSize)
+	case c.Gen < 0 || c.Evals < 0:
+		return fmt.Errorf("ga: checkpoint counters gen=%d evals=%d", c.Gen, c.Evals)
+	case len(c.History) == 0:
+		return fmt.Errorf("ga: checkpoint has no recorded history")
+	}
+	for i, bits := range c.Pop {
+		if len(bits) != spec.TotalBits() {
+			return fmt.Errorf("ga: checkpoint individual %d has %d bits, want %d", i, len(bits), spec.TotalBits())
+		}
+	}
+	return nil
+}
+
+// WriteCheckpoint serialises a snapshot as indented JSON. The memo is
+// written in sorted genome order so identical states produce identical
+// bytes.
+func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
+	sort.Slice(c.Memo, func(i, j int) bool {
+		return bytes.Compare(c.Memo[i].Bits, c.Memo[j].Bits) < 0
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c)
+}
+
+// ReadCheckpoint deserialises a snapshot written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("ga: reading checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -48,7 +48,14 @@ type Array struct {
 	BasePad int64   // inter-array padding in bytes
 }
 
-// Validate checks structural invariants.
+// MaxArrayBytes caps an array's padded storage footprint. Strides, linear
+// indices and byte addresses are all int64 products of extents; keeping the
+// footprint far below 2^63 guarantees those products cannot wrap around.
+const MaxArrayBytes = int64(1) << 46
+
+// Validate checks structural invariants, including overflow safety: every
+// extent, pad, base address and the total padded footprint must stay under
+// MaxArrayBytes so address arithmetic can never wrap.
 func (a *Array) Validate() error {
 	if a.Name == "" {
 		return fmt.Errorf("array with empty name")
@@ -60,11 +67,20 @@ func (a *Array) Validate() error {
 		if e < 1 {
 			return fmt.Errorf("array %s: dimension %d extent %d < 1", a.Name, d, e)
 		}
+		if e > MaxArrayBytes {
+			return fmt.Errorf("array %s: dimension %d extent %d overflows the %d-byte cap", a.Name, d, e, MaxArrayBytes)
+		}
 	}
 	if a.Elem <= 0 {
 		return fmt.Errorf("array %s: element size %d", a.Name, a.Elem)
 	}
-	if a.Base < 0 || a.Base+a.BasePad < 0 {
+	if a.Elem > MaxArrayBytes {
+		return fmt.Errorf("array %s: element size %d overflows the %d-byte cap", a.Name, a.Elem, MaxArrayBytes)
+	}
+	if a.Base < 0 || a.Base > MaxArrayBytes {
+		return fmt.Errorf("array %s: base address %d outside [0, %d]", a.Name, a.Base, MaxArrayBytes)
+	}
+	if a.BasePad < -MaxArrayBytes || a.BasePad > MaxArrayBytes || a.Base+a.BasePad < 0 {
 		return fmt.Errorf("array %s: negative base address", a.Name)
 	}
 	if a.Pad != nil && len(a.Pad) != len(a.Dims) {
@@ -74,6 +90,19 @@ func (a *Array) Validate() error {
 		if p < 0 {
 			return fmt.Errorf("array %s: negative pad in dimension %d", a.Name, d)
 		}
+		if p > MaxArrayBytes {
+			return fmt.Errorf("array %s: pad %d in dimension %d overflows the %d-byte cap", a.Name, p, d, MaxArrayBytes)
+		}
+	}
+	// Overflow-safe footprint check: divide before multiplying so the
+	// running product itself can never wrap.
+	n := a.Elem
+	for d := range a.Dims {
+		e := a.paddedExtent(d) // each term ≤ MaxArrayBytes, so the sum fits
+		if n > MaxArrayBytes/e {
+			return fmt.Errorf("array %s: padded footprint overflows the %d-byte cap", a.Name, MaxArrayBytes)
+		}
+		n *= e
 	}
 	return nil
 }
@@ -203,6 +232,9 @@ func (r *Ref) Validate(depth int) error {
 		if s.NumVars() > depth {
 			return fmt.Errorf("reference to %s subscript %d uses variable v%d beyond nest depth %d",
 				r.Array.Name, d, s.NumVars()-1, depth)
+		}
+		if !affineInRange(s) {
+			return fmt.Errorf("reference to %s subscript %d overflows the bound cap", r.Array.Name, d)
 		}
 	}
 	return nil

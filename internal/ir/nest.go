@@ -103,7 +103,28 @@ func (n *Nest) Arrays() []*Array {
 	return out
 }
 
-// Validate checks the structural invariants of the nest.
+// MaxBoundMagnitude caps the constants and coefficients of loop bounds and
+// subscripts. Iteration counts, extents and subscript evaluations multiply
+// these against each other and against array strides (themselves under
+// MaxArrayBytes); the cap keeps every such product inside int64.
+const MaxBoundMagnitude = int64(1) << 40
+
+// affineInRange reports whether every constant and coefficient of e has
+// magnitude at most MaxBoundMagnitude.
+func affineInRange(e expr.Affine) bool {
+	if e.Const > MaxBoundMagnitude || e.Const < -MaxBoundMagnitude {
+		return false
+	}
+	for _, c := range e.Coeffs {
+		if c > MaxBoundMagnitude || c < -MaxBoundMagnitude {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariants of the nest, including the
+// MaxBoundMagnitude overflow caps on bounds and subscripts.
 func (n *Nest) Validate() error {
 	if len(n.Loops) == 0 {
 		return fmt.Errorf("nest %s: no loops", n.Name)
@@ -115,8 +136,14 @@ func (n *Nest) Validate() error {
 		if l.Step <= 0 {
 			return fmt.Errorf("nest %s: loop %s step %d (must be positive)", n.Name, l.Var, l.Step)
 		}
+		if l.Step > MaxBoundMagnitude {
+			return fmt.Errorf("nest %s: loop %s step %d overflows the bound cap", n.Name, l.Var, l.Step)
+		}
 		if l.Lower.NumVars() > d {
 			return fmt.Errorf("nest %s: loop %s lower bound references inner variable", n.Name, l.Var)
+		}
+		if !affineInRange(l.Lower) {
+			return fmt.Errorf("nest %s: loop %s lower bound overflows the bound cap", n.Name, l.Var)
 		}
 		if len(l.Upper.Exprs) == 0 {
 			return fmt.Errorf("nest %s: loop %s has no upper bound", n.Name, l.Var)
@@ -124,6 +151,9 @@ func (n *Nest) Validate() error {
 		for _, e := range l.Upper.Exprs {
 			if e.NumVars() > d {
 				return fmt.Errorf("nest %s: loop %s upper bound references inner variable", n.Name, l.Var)
+			}
+			if !affineInRange(e) {
+				return fmt.Errorf("nest %s: loop %s upper bound overflows the bound cap", n.Name, l.Var)
 			}
 		}
 	}

@@ -7,6 +7,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -201,36 +202,51 @@ func (s *Sample) EvaluateEstimate(an *cme.Analyzer, confidence float64) Estimate
 // classifying a contiguous slice of the sample on its own analyzer clone.
 // The result is identical to Evaluate (the counts are sums over the same
 // points), so parallelism never perturbs search results.
+//
+// It is EvaluateContext without cancellation; an analyzer panic, converted
+// to an error there, re-panics here to preserve this signature's contract.
 func (s *Sample) EvaluateParallel(an *cme.Analyzer, workers int) cachesim.Stats {
-	n := len(s.Points)
-	if workers < 2 || n < 64 {
-		return s.Evaluate(an)
+	st, err := s.EvaluateContext(context.Background(), an, workers)
+	if err != nil {
+		panic(err)
 	}
+	return st
+}
+
+// EvaluateContext is the fault-tolerant evaluation entry: like
+// EvaluateParallel it fans the sample out over workers analyzer clones
+// (workers < 2 evaluates serially on an itself), but it honours ctx
+// cancellation between points and converts a panic in any worker into an
+// error instead of crashing the process. Every worker drains cleanly —
+// the WaitGroup is always released — and the first failure is reported.
+// On error the returned counts are partial and must be discarded.
+func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers int) (cachesim.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(s.Points)
 	if workers > n {
 		workers = n
 	}
+	if workers < 2 || n < 64 {
+		var st cachesim.Stats
+		err := classifyRange(ctx, an, s.Points, &st)
+		return st, err
+	}
 	partial := make([]cachesim.Stats, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			cl := an.Clone()
-			sp := cl.Space()
-			p := make([]int64, sp.NumCoords())
-			for _, orig := range s.Points[lo:hi] {
-				sp.FromOriginal(orig, p)
-				cl.ClassifyAll(p, &partial[w])
-			}
+			errs[w] = classifyRange(ctx, an.Clone(), s.Points[lo:hi], &partial[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -241,5 +257,34 @@ func (s *Sample) EvaluateParallel(an *cme.Analyzer, workers int) cachesim.Stats 
 		st.Compulsory += ps.Compulsory
 		st.Replacement += ps.Replacement
 	}
-	return st
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, ctx.Err()
+}
+
+// classifyRange classifies one worker's slice of the sample, polling ctx
+// every few points and recovering a panicking analyzer into an error.
+func classifyRange(ctx context.Context, an *cme.Analyzer, points [][]int64, st *cachesim.Stats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sampling: evaluation worker panic: %v", r)
+		}
+	}()
+	sp := an.Space()
+	p := make([]int64, sp.NumCoords())
+	for i, orig := range points {
+		if i&31 == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		sp.FromOriginal(orig, p)
+		an.ClassifyAll(p, st)
+	}
+	return nil
 }

@@ -1,0 +1,132 @@
+package cmetiling_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	cmetiling "repro"
+)
+
+// TestFacadeBoundedSearch: the re-exported Context variants enforce budget
+// and deadline bounds and tag results with the re-exported stop reasons.
+func TestFacadeBoundedSearch(t *testing.T) {
+	k, ok := cmetiling.GetKernel("MM")
+	if !ok {
+		t.Fatal("MM missing from catalog")
+	}
+	nest, err := k.Instance(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, MaxEvaluations: 10}
+	res, err := cmetiling.OptimizeTilingContext(context.Background(), nest, opt)
+	if err != nil {
+		t.Fatalf("budget surfaced as error: %v", err)
+	}
+	if res.Stopped != cmetiling.StopBudget {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, cmetiling.StopBudget)
+	}
+	if len(res.Tile) != nest.Depth() {
+		t.Fatalf("best-so-far tile %v has wrong rank", res.Tile)
+	}
+
+	opt = cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, Deadline: time.Nanosecond}
+	res, err = cmetiling.OptimizeTilingContext(context.Background(), nest, opt)
+	if err != nil {
+		t.Fatalf("deadline surfaced as error: %v", err)
+	}
+	if res.Stopped != cmetiling.StopDeadline {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, cmetiling.StopDeadline)
+	}
+}
+
+// TestFacadeCheckpointRoundTrip: checkpoints written through the facade
+// serialise, deserialise and resume to the converged result.
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	k, _ := cmetiling.GetKernel("MM")
+	nest, err := k.Instance(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, SamplePoints: 64}
+
+	full, err := cmetiling.OptimizeTiling(nest, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	opt := base
+	opt.Checkpoint = func(c *cmetiling.Checkpoint) error {
+		buf.Reset()
+		if err := cmetiling.WriteCheckpoint(&buf, c); err != nil {
+			return err
+		}
+		if c.Gen == 1 {
+			cancel()
+		}
+		return nil
+	}
+	if _, err := cmetiling.OptimizeTilingContext(ctx, nest, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := cmetiling.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt = base
+	opt.ResumeFrom = ckpt
+	resumed, err := cmetiling.OptimizeTiling(nest, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Tile, full.Tile; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("resumed tile %v != uninterrupted %v", got, want)
+	}
+	if resumed.GA.Evaluations != full.GA.Evaluations {
+		t.Fatalf("resumed evaluations %d != uninterrupted %d", resumed.GA.Evaluations, full.GA.Evaluations)
+	}
+}
+
+// TestCLIBoundedSearches drives tilegen's -budget, -timeout, -checkpoint
+// and -resume flags end to end.
+func TestCLIBoundedSearches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t)
+	ckpt := filepath.Join(t.TempDir(), "mm.ckpt")
+
+	out := run(t, tools["tilegen"], "-kernel", "MM", "-size", "64", "-budget", "10")
+	if !strings.Contains(out, "search stopped early (budget)") {
+		t.Fatalf("budget run did not report its stop reason:\n%s", out)
+	}
+	if !strings.Contains(out, "best tile:") {
+		t.Fatalf("budget run did not print a best-so-far tile:\n%s", out)
+	}
+
+	out = run(t, tools["tilegen"], "-kernel", "MM", "-size", "128", "-timeout", "1ms")
+	if !strings.Contains(out, "search stopped early (deadline)") {
+		t.Fatalf("timeout run did not report its stop reason:\n%s", out)
+	}
+
+	out = run(t, tools["tilegen"], "-kernel", "MM", "-size", "64",
+		"-checkpoint", ckpt, "-budget", "40", "-progress")
+	if !strings.Contains(out, "search stopped early (budget)") {
+		t.Fatalf("checkpoint run did not stop on budget:\n%s", out)
+	}
+	out = run(t, tools["tilegen"], "-kernel", "MM", "-size", "64", "-resume", ckpt)
+	if strings.Contains(out, "stopped early") {
+		t.Fatalf("resumed run did not converge:\n%s", out)
+	}
+	if !strings.Contains(out, "best tile:") {
+		t.Fatalf("resumed run printed no tile:\n%s", out)
+	}
+}
