@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz
+.PHONY: verify build test vet race fuzz bench-json
 
 verify: vet build race
 
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Point-solver and evaluation microbenchmarks, recorded as a JSON
+# trajectory file so perf changes are tracked PR over PR.
+BENCH_OUT ?= BENCH_pr2.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz sweeps over the structured-input entry points.
 fuzz:

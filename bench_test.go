@@ -10,6 +10,7 @@ package cmetiling_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -208,6 +209,86 @@ func BenchmarkPointSolverTiled(b *testing.B) {
 			an.Classify(p, r)
 		}
 	}
+}
+
+// BenchmarkClassify pits the optimized interference walk (incremental
+// address maintenance + direct-mapped fast path) against the retained
+// reference walk on the MM kernel over a tiled space — the headline
+// point-solver speedup of the throughput overhaul. Both sub-benchmarks
+// classify the same fixed set of sampled points.
+func BenchmarkClassify(b *testing.B) {
+	for _, mode := range []string{"incremental", "reference"} {
+		b.Run(mode, func(b *testing.B) {
+			an := mmAnalyzer(b, 500, []int64{32, 16, 16}, cache.DM8K)
+			sp := an.Space()
+			rng := rand.New(rand.NewPCG(5, 6))
+			pts := make([][]int64, 256)
+			for i := range pts {
+				p := make([]int64, sp.NumCoords())
+				sp.Sample(rng, p)
+				pts[i] = p
+			}
+			classify := an.Classify
+			if mode == "reference" {
+				classify = an.ClassifyReference
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pts[i%len(pts)]
+				for r := 0; r < 4; r++ {
+					classify(p, r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateParallel times one common-random-numbers objective
+// evaluation (the paper's 164-point sample over tiled MM) across worker
+// counts, plus the pooled EvaluateWith path the search evaluator uses —
+// clone churn eliminated by Rebind-reusing a fixed analyzer pool.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	sample := mmSample(b, 500, sampling.PaperSampleSize)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			an := mmAnalyzer(b, 500, []int64{32, 16, 16}, cache.DM8K)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sample.EvaluateParallel(an, workers)
+			}
+		})
+	}
+	b.Run("pooled=4", func(b *testing.B) {
+		an := mmAnalyzer(b, 500, []int64{32, 16, 16}, cache.DM8K)
+		pool := []*cme.Analyzer{an, an.Clone(), an.Clone(), an.Clone()}
+		tiledSpace := an.Space()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range pool {
+				if err := a.Rebind(tiledSpace); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sample.EvaluateWith(context.Background(), pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// mmSample draws a fixed original-space sample for the MM kernel.
+func mmSample(b *testing.B, n int64, points int) *sampling.Sample {
+	b.Helper()
+	k, _ := kernels.Get("MM")
+	nest, err := k.Instance(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	box, err := tiling.Box(nest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sampling.Draw(box, points, rand.New(rand.NewPCG(9, 10)))
 }
 
 // BenchmarkEstimate164 times one full §2.3 miss-ratio estimate (the

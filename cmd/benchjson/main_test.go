@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkClassify/incremental-8   \t  143030\t      7348 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognised")
+	}
+	if b.Name != "Classify/incremental" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Iterations != 143030 {
+		t.Fatalf("iterations = %d", b.Iterations)
+	}
+	for unit, want := range map[string]float64{"ns/op": 7348, "B/op": 0, "allocs/op": 0} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	// Custom ReportMetric units survive.
+	b, ok = parseLine("BenchmarkTable2-4   3   123.4 ns/op   5.67 repl%/before")
+	if !ok || b.Metrics["repl%/before"] != 5.67 {
+		t.Fatalf("custom metric lost: %+v ok=%v", b, ok)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t2.6s",
+		"--- BENCH: BenchmarkX",
+		"Benchmark name without numbers",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-result line %q parsed as benchmark", line)
+		}
+	}
+}

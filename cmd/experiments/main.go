@@ -47,6 +47,7 @@ func main() {
 		bars     = flag.Bool("bars", false, "also render figures as ASCII bar charts")
 		timeout  = flag.Duration("timeout", 0, "per-search deadline (0 = unbounded)")
 		budget   = flag.Int("budget", 0, "per-search evaluation budget (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes results")
 	)
 	flag.Parse()
 	if *all {
@@ -59,7 +60,7 @@ func main() {
 	}
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
-		Deadline: *timeout, MaxEvaluations: *budget,
+		Deadline: *timeout, MaxEvaluations: *budget, Workers: *workers,
 	}
 
 	// A first Ctrl-C cancels the context: in-flight searches stop at the

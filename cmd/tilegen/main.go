@@ -45,6 +45,7 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "write a resumable snapshot here every generation")
 		resume   = flag.String("resume", "", "resume the search from this checkpoint file")
 		progress = flag.Bool("progress", false, "print per-generation progress to stderr")
+		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the result")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func main() {
 	opt := cmetiling.Options{
 		Cache: cfg, Seed: *seed, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget,
+		Workers: *workers,
 	}
 	if *progress {
 		opt.Progress = func(p cmetiling.Progress) {

@@ -51,6 +51,19 @@ type Stats struct {
 	Capacity uint64
 }
 
+// Add accumulates other into s, field by field — the single merge point
+// for partial counts from parallel evaluation workers, so no field (in
+// particular the Conflict/Capacity split) can be dropped by a hand-written
+// sum.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Compulsory += other.Compulsory
+	s.Replacement += other.Replacement
+	s.Conflict += other.Conflict
+	s.Capacity += other.Capacity
+}
+
 // Misses returns the total miss count.
 func (s Stats) Misses() uint64 { return s.Compulsory + s.Replacement }
 

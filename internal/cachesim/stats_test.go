@@ -1,0 +1,33 @@
+package cachesim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddAllFields: Add must accumulate EVERY field of Stats —
+// including the Conflict/Capacity shadow split that a hand-written sum
+// once dropped. The reflection sweep fails the moment a new field is
+// added to Stats without extending Add, and guards against regressing to
+// a partial merge.
+func TestStatsAddAllFields(t *testing.T) {
+	var a, b Stats
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < bv.NumField(); i++ {
+		if bv.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is not uint64; update this test and Add", bv.Type().Field(i).Name)
+		}
+		bv.Field(i).SetUint(uint64(i + 1))
+	}
+	a.Add(b)
+	if a != b {
+		t.Fatalf("zero.Add(%+v) = %+v; some field was dropped", b, a)
+	}
+	a.Add(b)
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Uint(), 2*uint64(i+1); got != want {
+			t.Fatalf("field %s after two Adds = %d, want %d", av.Type().Field(i).Name, got, want)
+		}
+	}
+}

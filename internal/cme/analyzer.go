@@ -18,11 +18,14 @@
 //     region-count accounting.
 //
 // The point solver is validated access-for-access against the trace-driven
-// simulator (internal/cachesim) in this package's tests.
+// simulator (internal/cachesim) in this package's tests, and the optimized
+// interference walk is validated outcome-for-outcome against the retained
+// reference walk (ClassifyReference) over randomized kernels.
 package cme
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/cachesim"
@@ -53,22 +56,48 @@ type subInv struct {
 	cst    int64
 }
 
+// coordRef links one space coordinate to a reference whose address depends
+// on it — the transpose of the nonzero coefCoord entries. The interference
+// walk applies coef·Δcoord to the reference's live address whenever the
+// coordinate changes, so one backward step costs O(changed coordinates)
+// instead of O(references × coordinates).
+type coordRef struct {
+	ref  int
+	coef int64
+}
+
 // Analyzer decides per-access cache outcomes for a loop nest traversed in
 // the order of a given iteration space. The nest's references must use
 // subscripts of the form c or ±a·v + c (single loop variable per
 // subscript), which covers every kernel in the paper's Table 1.
 //
 // An Analyzer is not safe for concurrent use; Clone one per goroutine.
+// Rebind repoints an analyzer at a new traversal space without
+// reallocating, which is how the search evaluators recycle analyzers
+// across GA candidates.
 type Analyzer struct {
 	nest  *ir.Nest
 	space iterspace.Space
 	cfg   cache.Config
+	nsets int64 // cfg.NumSets(), hoisted off the walk's hot path
+	// lineShift/setMask exploit the validated power-of-two geometry:
+	// for non-negative addresses addr>>lineShift == addr/LineSize and
+	// ql&setMask == ql%NumSets exactly, so the walk's inner loop avoids
+	// two integer divisions per probe. Negative addresses (possible only
+	// with exotic array bases) take the exact div/mod path instead.
+	lineShift uint
+	setMask   int64
 
 	refs   []refInfo
 	arrays map[*ir.Array]*arrInfo
+	// coordRefs[c] lists the references whose address depends on space
+	// coordinate c (rebuilt on every Rebind).
+	coordRefs [][]coordRef
 
 	// Scratch buffers.
 	walkPoint []int64
+	prevPoint []int64
+	liveAddr  []int64 // per-reference address at walkPoint
 	conflicts []int64
 	pinned    []int64
 	minPoint  []int64
@@ -99,33 +128,23 @@ func NewAnalyzer(nest *ir.Nest, space iterspace.Space, cfg cache.Config) (*Analy
 	if err := nest.Validate(); err != nil {
 		return nil, err
 	}
-	if space.OrigDims() != nest.Depth() {
-		return nil, fmt.Errorf("cme: space has %d original dims, nest depth %d", space.OrigDims(), nest.Depth())
-	}
 	a := &Analyzer{
 		nest:      nest,
-		space:     space,
 		cfg:       cfg,
+		nsets:     cfg.NumSets(),
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
+		setMask:   cfg.NumSets() - 1,
 		refs:      make([]refInfo, len(nest.Refs)),
-		walkPoint: make([]int64, space.NumCoords()),
 		conflicts: make([]int64, 0, cfg.Assoc),
 		pinned:    make([]int64, nest.Depth()),
-		minPoint:  make([]int64, space.NumCoords()),
 		walkCap:   DefaultWalkCap,
 	}
 	a.arrays = make(map[*ir.Array]*arrInfo)
-	origMap := space.OrigMap()
 	maxRank := 0
 	for i := range nest.Refs {
 		ri, err := buildRefInfo(&nest.Refs[i], nest.Depth())
 		if err != nil {
 			return nil, fmt.Errorf("cme: ref %d (%s): %w", i, nest.Refs[i].String(), err)
-		}
-		ri.coefCoord = make([]int64, space.NumCoords())
-		for c, d := range origMap {
-			if d >= 0 {
-				ri.coefCoord[c] = ri.coef[d]
-			}
 		}
 		a.refs[i] = ri
 		arr := nest.Refs[i].Array
@@ -137,18 +156,102 @@ func NewAnalyzer(nest *ir.Nest, space iterspace.Space, cfg cache.Config) (*Analy
 		}
 	}
 	a.subsBuf = make([]int64, maxRank)
+	if err := a.bindSpace(space); err != nil {
+		return nil, err
+	}
 	return a, nil
 }
 
+// bindSpace points the analyzer at a traversal space, (re)building every
+// space-dependent structure: the per-coordinate address coefficients, their
+// transpose used by the incremental walk, and the point-sized scratch
+// buffers. Existing buffers are reused whenever they are large enough, so
+// rebinding an analyzer between same-shape spaces allocates nothing.
+func (a *Analyzer) bindSpace(space iterspace.Space) error {
+	if space.OrigDims() != a.nest.Depth() {
+		return fmt.Errorf("cme: space has %d original dims, nest depth %d", space.OrigDims(), a.nest.Depth())
+	}
+	a.space = space
+	nc := space.NumCoords()
+	a.walkPoint = resizeInt64(a.walkPoint, nc)
+	a.prevPoint = resizeInt64(a.prevPoint, nc)
+	a.minPoint = resizeInt64(a.minPoint, nc)
+	a.liveAddr = resizeInt64(a.liveAddr, len(a.refs))
+	if cap(a.coordRefs) >= nc {
+		a.coordRefs = a.coordRefs[:nc]
+	} else {
+		a.coordRefs = make([][]coordRef, nc)
+	}
+	for c := range a.coordRefs {
+		a.coordRefs[c] = a.coordRefs[c][:0]
+	}
+	origMap := space.OrigMap()
+	for i := range a.refs {
+		ri := &a.refs[i]
+		ri.coefCoord = resizeInt64(ri.coefCoord, nc)
+		for c := range ri.coefCoord {
+			ri.coefCoord[c] = 0
+		}
+		for c, d := range origMap {
+			if d >= 0 {
+				ri.coefCoord[c] = ri.coef[d]
+			}
+		}
+		for c, co := range ri.coefCoord {
+			if co != 0 {
+				a.coordRefs[c] = append(a.coordRefs[c], coordRef{ref: i, coef: co})
+			}
+		}
+	}
+	return nil
+}
+
+// resizeInt64 returns a slice of length n, reusing s's backing array when
+// it is large enough.
+func resizeInt64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+// Rebind repoints the analyzer at a new traversal space over the same nest
+// and cache configuration, reusing every internal buffer — the
+// allocation-free path search evaluators use to recycle analyzers across
+// candidate tilings instead of paying NewAnalyzer per evaluation. The
+// walk accounting (WalkStats, CapHits) restarts from zero.
+func (a *Analyzer) Rebind(space iterspace.Space) error {
+	if err := a.bindSpace(space); err != nil {
+		return err
+	}
+	a.walkSteps, a.classified, a.capHits = 0, 0, 0
+	return nil
+}
+
 // Clone returns an independent analyzer sharing the immutable nest/space.
+// The clone's accounting (WalkStats, CapHits) starts at zero: counters
+// describe the work an analyzer itself performed, so per-worker clones
+// aggregate without double-counting the parent's history.
 func (a *Analyzer) Clone() *Analyzer {
 	out := *a
-	out.walkPoint = make([]int64, len(a.walkPoint))
+	// Space-independent immutable state (nest, arrays, each ref's coef and
+	// inv) is shared; every mutable buffer is re-created so the clone is
+	// fully independent of the parent, including under a later Rebind of
+	// either.
+	out.refs = make([]refInfo, len(a.refs))
+	copy(out.refs, a.refs)
+	for i := range out.refs {
+		out.refs[i].coefCoord = nil
+	}
 	out.conflicts = make([]int64, 0, cap(a.conflicts))
 	out.pinned = make([]int64, len(a.pinned))
-	out.minPoint = make([]int64, len(a.minPoint))
 	out.subsBuf = make([]int64, len(a.subsBuf))
-	out.capHits = 0
+	out.walkPoint, out.prevPoint, out.minPoint, out.liveAddr, out.coordRefs = nil, nil, nil, nil, nil
+	if err := out.bindSpace(a.space); err != nil {
+		// a.space was accepted when the parent bound it.
+		panic("cme: clone rebind failed: " + err.Error())
+	}
+	out.walkSteps, out.classified, out.capHits = 0, 0, 0
 	return &out
 }
 
@@ -217,16 +320,182 @@ func (a *Analyzer) Classify(p []int64, refIdx int) cachesim.Outcome {
 	a.classified++
 	addr := a.addrAt(p, refIdx)
 	line := a.cfg.LineOf(addr)
+
+	if a.isFirstAccess(p, refIdx, line) {
+		return cachesim.CompulsoryMiss
+	}
+	if a.cfg.Assoc == 1 {
+		return a.walkDirect(p, refIdx, line)
+	}
+	return a.walkAssoc(p, refIdx, line)
+}
+
+// startWalk primes the backward interference walk at p: walkPoint holds
+// the current point and liveAddr the address every reference touches
+// there. From here stepBack maintains the addresses incrementally.
+func (a *Analyzer) startWalk(p []int64) {
+	copy(a.walkPoint, p)
+	for r := range a.refs {
+		a.liveAddr[r] = a.addrAt(p, r)
+	}
+}
+
+// stepBack moves the walk one iteration point earlier and updates the live
+// addresses incrementally: space.Prev typically changes one or two
+// coordinates, and only the references depending on a changed coordinate
+// are touched — O(changed coords) work instead of recomputing every
+// reference's full affine address.
+func (a *Analyzer) stepBack() bool {
+	cur := a.walkPoint
+	copy(a.prevPoint, cur)
+	if !a.space.Prev(cur) {
+		return false
+	}
+	for c, v := range cur {
+		if d := v - a.prevPoint[c]; d != 0 {
+			for _, cr := range a.coordRefs[c] {
+				a.liveAddr[cr.ref] += cr.coef * d
+			}
+		}
+	}
+	return true
+}
+
+// walkDirect is the direct-mapped (assoc = 1) fast path of the backward
+// interference walk: with a single way per set, the first other line
+// landing in the target set evicts the reuse source, so no conflict list
+// is kept at all — the walk is a pure scan over live addresses.
+func (a *Analyzer) walkDirect(p []int64, refIdx int, line int64) cachesim.Outcome {
+	set := a.cfg.SetOfLine(line)
+	a.startWalk(p)
+	lineSize, nsets := a.cfg.LineSize, a.nsets
+	lineShift, setMask := a.lineShift, a.setMask
+	live := a.liveAddr
+	walkCap := a.walkCap
+	ref := refIdx
+	var steps uint64
+	for {
+		ref--
+		if ref < 0 {
+			if !a.stepBack() {
+				// No earlier access to the line exists, contradicting the
+				// first-access test: unreachable by construction.
+				panic("cme: walked past the start of a non-compulsory access")
+			}
+			ref = len(a.refs) - 1
+		}
+		if q := live[ref]; q >= 0 {
+			ql := q >> lineShift
+			if ql == line {
+				a.walkSteps += steps
+				return cachesim.Hit
+			}
+			if ql&setMask == set {
+				a.walkSteps += steps
+				return cachesim.ReplacementMiss
+			}
+		} else {
+			ql := q / lineSize
+			if ql == line {
+				a.walkSteps += steps
+				return cachesim.Hit
+			}
+			if ql%nsets == set {
+				a.walkSteps += steps
+				return cachesim.ReplacementMiss
+			}
+		}
+		steps++
+		if steps >= walkCap {
+			a.walkSteps += steps
+			a.capHits++
+			return cachesim.ReplacementMiss
+		}
+	}
+}
+
+// walkAssoc is the k-way walk: scan accesses in reverse execution order
+// until we meet the previous access to this line. The line is still
+// resident iff fewer than `assoc` distinct other lines mapping to the same
+// set were touched in between (the LRU stack property). Addresses come
+// from the incrementally maintained liveAddr.
+func (a *Analyzer) walkAssoc(p []int64, refIdx int, line int64) cachesim.Outcome {
+	set := a.cfg.SetOfLine(line)
+	a.startWalk(p)
+	conflicts := a.conflicts[:0]
+	lineSize, nsets := a.cfg.LineSize, a.nsets
+	lineShift, setMask := a.lineShift, a.setMask
+	live := a.liveAddr
+	walkCap := a.walkCap
+	assoc := a.cfg.Assoc
+	ref := refIdx
+	var steps uint64
+	for {
+		ref--
+		if ref < 0 {
+			if !a.stepBack() {
+				panic("cme: walked past the start of a non-compulsory access")
+			}
+			ref = len(a.refs) - 1
+		}
+		var ql int64
+		var sameSet bool
+		if q := live[ref]; q >= 0 {
+			ql = q >> lineShift
+			sameSet = ql&setMask == set
+		} else {
+			ql = q / lineSize
+			sameSet = ql%nsets == set
+		}
+		if ql == line {
+			a.walkSteps += steps
+			if len(conflicts) < assoc {
+				return cachesim.Hit
+			}
+			return cachesim.ReplacementMiss
+		}
+		if sameSet {
+			known := false
+			for _, c := range conflicts {
+				if c == ql {
+					known = true
+					break
+				}
+			}
+			if !known {
+				conflicts = append(conflicts, ql)
+				if len(conflicts) >= assoc {
+					a.walkSteps += steps
+					return cachesim.ReplacementMiss
+				}
+			}
+		}
+		steps++
+		if steps >= walkCap {
+			a.walkSteps += steps
+			a.capHits++
+			return cachesim.ReplacementMiss
+		}
+	}
+}
+
+// ClassifyReference is the retained pre-optimization interference walk: it
+// recomputes every reference's full affine address at every backward step
+// instead of maintaining live addresses incrementally, and runs the
+// general k-way path even for direct-mapped caches. It classifies exactly
+// like Classify and exists as the behavioural oracle for the differential
+// tests and the BenchmarkClassify baseline; production paths always use
+// Classify.
+func (a *Analyzer) ClassifyReference(p []int64, refIdx int) cachesim.Outcome {
+	a.classified++
+	addr := a.addrAt(p, refIdx)
+	line := a.cfg.LineOf(addr)
 	set := a.cfg.SetOfLine(line)
 
 	if a.isFirstAccess(p, refIdx, line) {
 		return cachesim.CompulsoryMiss
 	}
 
-	// Backward interference walk: scan accesses in reverse execution
-	// order until we meet the previous access to this line. The line is
-	// still resident iff fewer than `assoc` distinct other lines mapping
-	// to the same set were touched in between (the LRU stack property).
 	cur := a.walkPoint
 	copy(cur, p)
 	ref := refIdx
@@ -237,8 +506,6 @@ func (a *Analyzer) Classify(p []int64, refIdx int) cachesim.Outcome {
 		ref--
 		if ref < 0 {
 			if !a.space.Prev(cur) {
-				// No earlier access to the line exists, contradicting the
-				// first-access test: unreachable by construction.
 				panic("cme: walked past the start of a non-compulsory access")
 			}
 			ref = len(a.refs) - 1

@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"os"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -53,6 +56,12 @@ type Options struct {
 	GA ga.Config
 	// Seed makes the whole search deterministic.
 	Seed uint64
+	// Workers bounds the goroutine fan-out of one objective evaluation
+	// (0 = DefaultWorkers: the CMETILING_WORKERS environment variable, or
+	// min(8, NumCPU)). Parallel evaluation sums the same per-point
+	// outcomes as serial evaluation, so the worker count never changes a
+	// search result — only how fast it arrives.
+	Workers int
 
 	// Deadline bounds the search's wall-clock time (0 = none). It is a
 	// duration from the start of the search, layered on top of whatever
@@ -89,7 +98,22 @@ func (o Options) withDefaults() Options {
 		seed := o.Seed
 		o.GA = ga.PaperConfig(seed)
 	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers()
+	}
 	return o
+}
+
+// DefaultWorkers returns the evaluation fan-out used when Options.Workers
+// is zero: the CMETILING_WORKERS environment variable when set to a
+// positive integer, otherwise min(8, NumCPU).
+func DefaultWorkers() int {
+	if s := os.Getenv("CMETILING_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return min(8, runtime.NumCPU())
 }
 
 // searchContext derives the context governing one search from the
@@ -147,13 +171,25 @@ func poison() float64 { return math.Inf(1) }
 
 // evaluator owns the fixed sample shared by every candidate of one search
 // (common random numbers: the fitness is deterministic and comparisons are
-// low-variance).
+// low-variance) and a pool of reusable analyzers: one primary plus
+// workers−1 clones, rebound to each candidate's iteration space instead of
+// paying NewAnalyzer + Clone allocation churn on all 450+ evaluations of a
+// GA run. The pool is valid for one nest at a time; evaluating a different
+// nest (the padding searches mutate array layouts per candidate) rebuilds
+// it.
 type evaluator struct {
-	nest   *ir.Nest
-	box    *iterspace.Box
-	cfg    cache.Config
-	sample *sampling.Sample
-	conf   float64
+	nest    *ir.Nest
+	box     *iterspace.Box
+	cfg     cache.Config
+	sample  *sampling.Sample
+	conf    float64
+	workers int
+
+	// mu guards the pool: GA objectives run serially, but TileObjective
+	// escapes to arbitrary callers.
+	mu       sync.Mutex
+	pool     []*cme.Analyzer
+	poolNest *ir.Nest
 }
 
 func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
@@ -165,37 +201,65 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(opt.Seed, opt.Seed^0xda3e39cb94b95bdb))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
 	return &evaluator{
-		nest:   nest,
-		box:    box,
-		cfg:    opt.Cache,
-		sample: sampling.Draw(box, opt.SamplePoints, rng),
-		conf:   opt.Confidence,
+		nest:    nest,
+		box:     box,
+		cfg:     opt.Cache,
+		sample:  sampling.Draw(box, opt.SamplePoints, rng),
+		conf:    opt.Confidence,
+		workers: workers,
 	}, nil
 }
 
-// evalWorkers bounds the fan-out of one objective evaluation. Parallel
-// evaluation sums the same per-point outcomes, so results are identical to
-// serial evaluation and searches stay deterministic.
-var evalWorkers = min(8, runtime.NumCPU())
-
-// tiled evaluates a tile vector over (a possibly padded copy of) the nest.
-func (e *evaluator) tiled(ctx context.Context, nest *ir.Nest, tile []int64) (cachesim.Stats, error) {
-	space := iterspace.NewTiled(e.box, tile)
+// analyzers returns the worker analyzer pool bound to (nest, space):
+// rebinding in place when the pool already analyses nest, rebuilding it
+// otherwise. Callers hold e.mu.
+func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) ([]*cme.Analyzer, error) {
+	if e.poolNest == nest && len(e.pool) > 0 {
+		for _, an := range e.pool {
+			if err := an.Rebind(space); err != nil {
+				return nil, err
+			}
+		}
+		return e.pool, nil
+	}
 	an, err := cme.NewAnalyzer(nest, space, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]*cme.Analyzer, 1, max(e.workers, 1))
+	pool[0] = an
+	for len(pool) < cap(pool) {
+		pool = append(pool, an.Clone())
+	}
+	e.pool, e.poolNest = pool, nest
+	return pool, nil
+}
+
+// evalSpace evaluates the sample over nest traversed in space order, using
+// the pooled parallel workers.
+func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspace.Space) (cachesim.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ans, err := e.analyzers(nest, space)
 	if err != nil {
 		return cachesim.Stats{}, err
 	}
-	return e.sample.EvaluateContext(ctx, an, evalWorkers)
+	return e.sample.EvaluateWith(ctx, ans)
+}
+
+// tiled evaluates a tile vector over (a possibly padded copy of) the nest.
+func (e *evaluator) tiled(ctx context.Context, nest *ir.Nest, tile []int64) (cachesim.Stats, error) {
+	return e.evalSpace(ctx, nest, iterspace.NewTiled(e.box, tile))
 }
 
 // untiled evaluates the nest in original order.
 func (e *evaluator) untiled(ctx context.Context, nest *ir.Nest) (cachesim.Stats, error) {
-	an, err := cme.NewAnalyzer(nest, e.box, e.cfg)
-	if err != nil {
-		return cachesim.Stats{}, err
-	}
-	return e.sample.EvaluateContext(ctx, an, evalWorkers)
+	return e.evalSpace(ctx, nest, e.box)
 }
 
 func (e *evaluator) estimate(st cachesim.Stats) sampling.Estimate {
@@ -404,13 +468,7 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	var sink errSink
 	obj := func(v []int64) float64 {
 		tile, order := decode(v)
-		space := iterspace.NewPermutedTiled(ev.box, tile, order)
-		an, err := cme.NewAnalyzer(nest, space, ev.cfg)
-		if err != nil {
-			sink.note(err)
-			return poison()
-		}
-		st, err := ev.sample.EvaluateContext(ctx, an, 1)
+		st, err := ev.evalSpace(ctx, nest, iterspace.NewPermutedTiled(ev.box, tile, order))
 		if err != nil {
 			sink.note(err)
 			return poison()
@@ -429,12 +487,10 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	if err != nil {
 		return nil, err
 	}
-	an, err := cme.NewAnalyzer(nest, space, ev.cfg)
-	if err != nil {
-		return nil, err
-	}
+	// Finalisation runs through the same pooled parallel evaluator as the
+	// search itself, outside the (possibly expired) search context.
 	fin := context.Background()
-	afterStats, err := ev.sample.EvaluateContext(fin, an, 1)
+	afterStats, err := ev.evalSpace(fin, nest, space)
 	if err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 			if err != nil {
 				return 0, err
 			}
-			st, err := ev.sample.EvaluateContext(evalCtx, an, 1)
+			st, err := ev.sample.EvaluateContext(evalCtx, an, ev.workers)
 			if err != nil {
 				return 0, err
 			}
@@ -126,11 +126,11 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 		if err != nil {
 			return nil, err
 		}
-		before, err := ev.sample.EvaluateContext(fin, anU, 1)
+		before, err := ev.sample.EvaluateContext(fin, anU, ev.workers)
 		if err != nil {
 			return nil, err
 		}
-		after, err := ev.sample.EvaluateContext(fin, anT, 1)
+		after, err := ev.sample.EvaluateContext(fin, anT, ev.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +172,7 @@ func BestInterchange(ctx context.Context, nest *ir.Nest, opt Options) (float64, 
 			if err != nil {
 				return err
 			}
-			st, err := ev.sample.EvaluateContext(ctx, an, 1)
+			st, err := ev.sample.EvaluateContext(ctx, an, ev.workers)
 			if err != nil {
 				return err
 			}

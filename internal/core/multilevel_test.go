@@ -81,16 +81,18 @@ func tileCost(t *testing.T, nest *ir.Nest, levels []Level, tile []int64) float64
 	t.Helper()
 	opt := Options{Seed: 44, Cache: levels[0].Cache}
 	opt = opt.withDefaults()
-	ev, err := newEvaluator(nest, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
 	var c float64
 	for _, l := range levels {
-		e2 := *ev
-		e2.cfg = l.Cache
-		st, err := e2.tiled(context.Background(), nest, tile)
+		// One evaluator per level: the sample draw is deterministic per
+		// seed, so every level sees the identical point set.
+		lopt := opt
+		lopt.Cache = l.Cache
+		ev, err := newEvaluator(nest, lopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accesses := float64(len(ev.sample.Points) * len(nest.Refs))
+		st, err := ev.tiled(context.Background(), nest, tile)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -38,11 +39,14 @@ func requireValidTiling(t *testing.T, res *TilingResult, depth int) {
 }
 
 // TestDeadlineReturnsBestSoFar: a deadline far shorter than the search
-// still yields a valid tile, tagged StopDeadline — not an error.
+// still yields a valid tile, tagged StopDeadline — not an error. The
+// deadline is one nanosecond so it is guaranteed to have expired before
+// the GA's first halt check no matter how fast the point solver gets;
+// the force-evaluated first candidate still provides a best-so-far.
 func TestDeadlineReturnsBestSoFar(t *testing.T) {
 	nest := transpose(256)
 	opt := testOpt(5)
-	opt.Deadline = time.Millisecond
+	opt.Deadline = time.Nanosecond
 	res, err := OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatalf("deadline surfaced as error: %v", err)
@@ -250,6 +254,62 @@ func TestCheckpointResumeBitForBit(t *testing.T) {
 				t.Fatalf("resumed run Stopped = %v, want %v", resumed.Stopped, ga.StopConverged)
 			}
 		})
+	}
+}
+
+// TestWorkerCountInvariant: the Workers knob changes only how fast a
+// search runs, never what it finds — evaluation sums the same per-point
+// outcomes whatever the fan-out, so two searches differing only in worker
+// count must match tile-for-tile and generation-for-generation.
+func TestWorkerCountInvariant(t *testing.T) {
+	nest := transpose(64)
+	base := testOpt(9)
+	base.SamplePoints = 164
+
+	var first *TilingResult
+	for _, workers := range []int{1, 3, 7} {
+		opt := base
+		opt.Workers = workers
+		res, err := OptimizeTiling(context.Background(), nest, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Tile, first.Tile) {
+			t.Fatalf("workers=%d found tile %v, workers=1 found %v", workers, res.Tile, first.Tile)
+		}
+		if res.GA.BestValue != first.GA.BestValue {
+			t.Fatalf("workers=%d best %v != %v", workers, res.GA.BestValue, first.GA.BestValue)
+		}
+		if res.GA.Evaluations != first.GA.Evaluations {
+			t.Fatalf("workers=%d spent %d evaluations, workers=1 spent %d", workers, res.GA.Evaluations, first.GA.Evaluations)
+		}
+		if !reflect.DeepEqual(res.GA.History, first.GA.History) {
+			t.Fatalf("workers=%d history diverges from workers=1", workers)
+		}
+		if res.Before != first.Before || res.After != first.After {
+			t.Fatalf("workers=%d before/after estimates diverge", workers)
+		}
+	}
+}
+
+// TestDefaultWorkersEnv: the CMETILING_WORKERS environment variable
+// overrides the fan-out default; garbage and non-positive values fall back
+// to min(8, NumCPU).
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv("CMETILING_WORKERS", "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers with CMETILING_WORKERS=3: %d", got)
+	}
+	fallback := min(8, runtime.NumCPU())
+	for _, bad := range []string{"0", "-2", "many"} {
+		t.Setenv("CMETILING_WORKERS", bad)
+		if got := DefaultWorkers(); got != fallback {
+			t.Fatalf("DefaultWorkers with CMETILING_WORKERS=%q: %d, want %d", bad, got, fallback)
+		}
 	}
 }
 

@@ -33,6 +33,9 @@ type Config struct {
 	Deadline time.Duration
 	// MaxEvaluations caps objective evaluations per search (0 = none).
 	MaxEvaluations int
+	// Workers bounds the evaluation fan-out per objective
+	// (0 = core.DefaultWorkers). Worker count never changes results.
+	Workers int
 }
 
 func (c Config) cap() int64 {
@@ -52,6 +55,7 @@ func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 		Seed:           c.Seed*0x9e3779b97f4a7c15 + salt,
 		Deadline:       c.Deadline,
 		MaxEvaluations: c.MaxEvaluations,
+		Workers:        c.Workers,
 	}
 }
 

@@ -1,0 +1,104 @@
+package sampling
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/cme"
+	"repro/internal/iterspace"
+)
+
+// TestEvaluateWorkerCountsMatchSerial: for every worker count 1..8, the
+// parallel evaluation paths return Stats exactly equal (all six fields) to
+// serial Evaluate — worker count must never perturb a search result.
+func TestEvaluateWorkerCountsMatchSerial(t *testing.T) {
+	an := transposeAnalyzer(t, 48, []int64{6, 10})
+	box := iterspace.NewBox([]int64{1, 1}, []int64{48, 48})
+	s := Draw(box, 257, rand.New(rand.NewPCG(11, 13)))
+	want := s.Evaluate(an)
+	for workers := 1; workers <= 8; workers++ {
+		got, err := s.EvaluateContext(context.Background(), an, workers)
+		if err != nil {
+			t.Fatalf("EvaluateContext workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("EvaluateContext workers=%d: %+v != serial %+v", workers, got, want)
+		}
+		if got := s.EvaluateParallel(an, workers); got != want {
+			t.Fatalf("EvaluateParallel workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestEvaluateWithPooledAnalyzers: EvaluateWith over a caller-supplied
+// analyzer pool matches serial evaluation, and the same pool Rebind-ed to a
+// different tiling still matches a fresh serial evaluation there — the
+// reuse pattern the core evaluator's analyzer pool depends on.
+func TestEvaluateWithPooledAnalyzers(t *testing.T) {
+	an := transposeAnalyzer(t, 48, []int64{6, 10})
+	box := iterspace.NewBox([]int64{1, 1}, []int64{48, 48})
+	s := Draw(box, 300, rand.New(rand.NewPCG(3, 5)))
+
+	pool := []*cme.Analyzer{an, an.Clone(), an.Clone(), an.Clone()}
+	want := s.Evaluate(transposeAnalyzer(t, 48, []int64{6, 10}))
+	got, err := s.EvaluateWith(context.Background(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateWith: %+v != serial %+v", got, want)
+	}
+
+	// Rebind the whole pool at a new tiling and evaluate again.
+	tiled := iterspace.NewTiled(box, []int64{12, 4})
+	for _, a := range pool {
+		if err := a.Rebind(tiled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want = s.Evaluate(transposeAnalyzer(t, 48, []int64{12, 4}))
+	got, err = s.EvaluateWith(context.Background(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateWith after Rebind: %+v != serial %+v", got, want)
+	}
+
+	if _, err := s.EvaluateWith(context.Background(), nil); err == nil {
+		t.Fatal("EvaluateWith accepted an empty analyzer pool")
+	}
+}
+
+// expiredAfterCtx models a context that expires only after the last point
+// is classified: Err() reports cancellation but Done() never fires, so
+// every worker completes its slice. The evaluation must return its
+// complete result with a nil error instead of discarding finished work.
+type expiredAfterCtx struct{}
+
+func (expiredAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (expiredAfterCtx) Done() <-chan struct{}       { return nil }
+func (expiredAfterCtx) Err() error                  { return context.Canceled }
+func (expiredAfterCtx) Value(key any) any           { return nil }
+
+// TestEvaluateCompleteResultNotDiscarded is the regression test for the
+// tail-error bug: a run that classified every sampled point used to return
+// ctx.Err(), throwing away a complete, valid result when the context
+// expired after the final point.
+func TestEvaluateCompleteResultNotDiscarded(t *testing.T) {
+	an := transposeAnalyzer(t, 48, []int64{6, 10})
+	box := iterspace.NewBox([]int64{1, 1}, []int64{48, 48})
+	s := Draw(box, 300, rand.New(rand.NewPCG(21, 23)))
+	want := s.Evaluate(an)
+	for _, workers := range []int{2, 4} {
+		got, err := s.EvaluateContext(expiredAfterCtx{}, an, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: complete run discarded with error %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}

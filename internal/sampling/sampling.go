@@ -219,7 +219,9 @@ func (s *Sample) EvaluateParallel(an *cme.Analyzer, workers int) cachesim.Stats 
 // cancellation between points and converts a panic in any worker into an
 // error instead of crashing the process. Every worker drains cleanly —
 // the WaitGroup is always released — and the first failure is reported.
-// On error the returned counts are partial and must be discarded.
+// On error the returned counts are partial and must be discarded. A run
+// that classified every point before the context expired returns its
+// complete result with a nil error.
 func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers int) (cachesim.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -231,6 +233,37 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 	if workers < 2 || n < 64 {
 		var st cachesim.Stats
 		err := classifyRange(ctx, an, s.Points, &st)
+		return st, err
+	}
+	ans := make([]*cme.Analyzer, workers)
+	ans[0] = an
+	for w := 1; w < workers; w++ {
+		ans[w] = an.Clone()
+	}
+	return s.EvaluateWith(ctx, ans)
+}
+
+// EvaluateWith is the pooling-friendly core of EvaluateContext: the caller
+// supplies the per-worker analyzers (all observing the same nest, space
+// and cache), one goroutine per analyzer. Search evaluators that Rebind
+// and reuse a fixed analyzer pool across candidates skip the per-call
+// Clone allocation churn entirely. Cancellation, panic recovery and the
+// complete-result guarantee match EvaluateContext.
+func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesim.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(ans) == 0 {
+		return cachesim.Stats{}, fmt.Errorf("sampling: EvaluateWith needs at least one analyzer")
+	}
+	n := len(s.Points)
+	workers := len(ans)
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 || n < 64 {
+		var st cachesim.Stats
+		err := classifyRange(ctx, ans[0], s.Points, &st)
 		return st, err
 	}
 	partial := make([]cachesim.Stats, workers)
@@ -246,23 +279,22 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = classifyRange(ctx, an.Clone(), s.Points[lo:hi], &partial[w])
+			errs[w] = classifyRange(ctx, ans[w], s.Points[lo:hi], &partial[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	var st cachesim.Stats
 	for _, ps := range partial {
-		st.Accesses += ps.Accesses
-		st.Hits += ps.Hits
-		st.Compulsory += ps.Compulsory
-		st.Replacement += ps.Replacement
+		st.Add(ps)
 	}
 	for _, err := range errs {
 		if err != nil {
 			return st, err
 		}
 	}
-	return st, ctx.Err()
+	// Every worker finished its slice: the result is complete and valid
+	// even if ctx expired after the last point was classified.
+	return st, nil
 }
 
 // classifyRange classifies one worker's slice of the sample, polling ctx
