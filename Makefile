@@ -5,12 +5,24 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz bench-json
+.PHONY: verify build test vet race fuzz bench-json depcheck
 
-verify: vet build race
+verify: vet build depcheck race
 
 vet:
 	$(GO) vet ./...
+
+# Telemetry layering rule: internal packages may depend on the
+# internal/telemetry interface, but only the facade (root package) wires
+# concrete sinks. An internal package importing internal/telemetry/sinks
+# breaks the nil-observer zero-cost contract and fails here.
+depcheck:
+	@bad=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./internal/... | grep -E ' repro/internal/telemetry/sinks( |$$)' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "depcheck: internal packages must not import telemetry sinks (only the facade may):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "depcheck: ok"
 
 build:
 	$(GO) build ./...
@@ -23,7 +35,7 @@ race:
 
 # Point-solver and evaluation microbenchmarks, recorded as a JSON
 # trajectory file so perf changes are tracked PR over PR.
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 

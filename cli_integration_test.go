@@ -95,3 +95,89 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("experiments output:\n%s", out)
 	}
 }
+
+// TestCLITelemetryFlags drives the observability flags added with the
+// telemetry subsystem: -trace-out (JSONL event stream), -metrics (expvar
+// dump on stderr), -pprof (CPU profile), and -workers parity on the
+// report/simulator tools.
+func TestCLITelemetryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t)
+	dir := t.TempDir()
+
+	// tilegen -trace-out -metrics -pprof all at once.
+	trace := filepath.Join(dir, "search.jsonl")
+	profile := filepath.Join(dir, "cpu.pprof")
+	out := run(t, tools["tilegen"], "-kernel", "T2D", "-size", "64", "-seed", "3",
+		"-points", "64", "-trace-out", trace, "-metrics", "-pprof", profile)
+	if !strings.Contains(out, "best tile") {
+		t.Fatalf("tilegen output:\n%s", out)
+	}
+	// The expvar dump goes to stderr at exit (CombinedOutput captures it).
+	if !strings.Contains(out, `"evaluations"`) || !strings.Contains(out, `"walk_steps"`) {
+		t.Errorf("tilegen -metrics dump missing:\n%s", out)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("trace file has %d lines:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, `{"ev":"`) {
+			t.Fatalf("trace line %d not a JSONL event: %s", i, line)
+		}
+	}
+	if !strings.Contains(lines[0], `"ev":"search_start"`) {
+		t.Errorf("trace does not open with search_start: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"ev":"counters"`) {
+		t.Errorf("trace does not close with counters: %s", lines[len(lines)-1])
+	}
+
+	if st, err := os.Stat(profile); err != nil {
+		t.Errorf("pprof file: %v", err)
+	} else if st.Size() == 0 {
+		t.Error("pprof file is empty")
+	}
+
+	// -trace-out appends: a second run must extend, not truncate.
+	run(t, tools["tilegen"], "-kernel", "T2D", "-size", "64", "-seed", "3",
+		"-points", "64", "-trace-out", trace)
+	data2, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data2) <= len(data) || !strings.HasPrefix(string(data2), string(data)) {
+		t.Error("-trace-out did not append to the existing file")
+	}
+
+	// experiments accepts the same flags.
+	trace2 := filepath.Join(dir, "experiments.jsonl")
+	out = run(t, tools["experiments"], "-sampling", "-quick", "-quickcap", "64",
+		"-points", "64", "-trace-out", trace2, "-metrics")
+	if !strings.Contains(out, "Sampling validation") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+	if _, err := os.Stat(trace2); err != nil {
+		t.Errorf("experiments trace file: %v", err)
+	}
+
+	// -workers parity: the reporting tools accept it and the output is
+	// identical for any worker count.
+	serial := run(t, tools["cmereport"], "-kernel", "MM", "-size", "20", "-points", "64", "-workers", "1")
+	parallel := run(t, tools["cmereport"], "-kernel", "MM", "-size", "20", "-points", "64", "-workers", "8")
+	if serial != parallel {
+		t.Errorf("cmereport output differs across -workers:\n--- 1 ---\n%s--- 8 ---\n%s", serial, parallel)
+	}
+	serial = run(t, tools["cachesim"], "-kernel", "T2D", "-size", "64", "-workers", "1")
+	parallel = run(t, tools["cachesim"], "-kernel", "T2D", "-size", "64", "-workers", "4")
+	if serial != parallel {
+		t.Errorf("cachesim output differs across -workers:\n--- 1 ---\n%s--- 4 ---\n%s", serial, parallel)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/cliutil"
@@ -24,12 +25,13 @@ import (
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "T2D", "kernel name from the Table-1 catalog")
-		file   = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
-		size   = flag.Int64("size", 0, "problem size (0 = kernel default)")
-		cacheF = flag.String("cache", "8k", "cache config: 8k, 32k, or size:line:assoc")
-		tileF  = flag.String("tile", "", "comma-separated tile sizes (empty = untiled)")
-		limit  = flag.Uint64("limit", 200_000_000, "refuse traces longer than this many accesses")
+		kernel  = flag.String("kernel", "T2D", "kernel name from the Table-1 catalog")
+		file    = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
+		size    = flag.Int64("size", 0, "problem size (0 = kernel default)")
+		cacheF  = flag.String("cache", "8k", "cache config: 8k, 32k, or size:line:assoc")
+		tileF   = flag.String("tile", "", "comma-separated tile sizes (empty = untiled)")
+		limit   = flag.Uint64("limit", 200_000_000, "refuse traces longer than this many accesses")
+		workers = flag.Int("workers", 1, "run the shadow, traffic, and per-ref simulations concurrently (>1); never changes the output")
 	)
 	flag.Parse()
 
@@ -70,15 +72,41 @@ func main() {
 		fatal(fmt.Errorf("trace has %d accesses (> -limit %d); pick a smaller size", accesses, *limit))
 	}
 	fmt.Printf("kernel %s  cache %v  points %d  accesses %d\n", nest.Name, cfg, points, accesses)
-	st := cachesim.SimulateNestShadow(nest, cfg)
+
+	// The three simulations are independent passes over the same nest;
+	// -workers>1 overlaps them. Results are printed in the fixed order
+	// below either way, so the output is identical.
+	var (
+		st  cachesim.Stats
+		tr  cachesim.Traffic
+		per []cachesim.RefStats
+	)
+	run := func(fns ...func()) {
+		if *workers <= 1 {
+			for _, fn := range fns {
+				fn()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, fn := range fns {
+			wg.Add(1)
+			go func(f func()) { defer wg.Done(); f() }(fn)
+		}
+		wg.Wait()
+	}
+	run(
+		func() { st = cachesim.SimulateNestShadow(nest, cfg) },
+		func() { tr = cachesim.SimulateNestTraffic(nest, cfg) },
+		func() { _, per = cachesim.SimulateNestByRef(nest, cfg) },
+	)
+
 	fmt.Println(st)
 	fmt.Printf("conflict misses: %d  capacity misses: %d\n", st.Conflict, st.Capacity)
 
-	tr := cachesim.SimulateNestTraffic(nest, cfg)
 	fmt.Printf("write-back traffic: %d fills + %d writebacks = %d bytes\n",
 		tr.Fills, tr.Writebacks, tr.BytesMoved(cfg.LineSize))
 
-	_, per := cachesim.SimulateNestByRef(nest, cfg)
 	fmt.Println("per-reference breakdown:")
 	for _, r := range per {
 		mode := "read "

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/cme"
+	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
 	"repro/internal/kernels"
@@ -28,14 +29,15 @@ import (
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "MM", "kernel name")
-		file   = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
-		size   = flag.Int64("size", 0, "problem size (0 = default)")
-		cacheF = flag.String("cache", "8k", "cache: 8k, 32k, or size:line:assoc")
-		tileF  = flag.String("tile", "", "tile sizes for a tiled-space report")
-		points = flag.Int("points", sampling.PaperSampleSize, "sample points for the estimate")
-		dump   = flag.Bool("dump", false, "dump every equation polyhedron")
-		seed   = flag.Uint64("seed", 1, "sampling seed")
+		kernel  = flag.String("kernel", "MM", "kernel name")
+		file    = flag.String("file", "", "path to a textual kernel description (overrides -kernel)")
+		size    = flag.Int64("size", 0, "problem size (0 = default)")
+		cacheF  = flag.String("cache", "8k", "cache: 8k, 32k, or size:line:assoc")
+		tileF   = flag.String("tile", "", "tile sizes for a tiled-space report")
+		points  = flag.Int("points", sampling.PaperSampleSize, "sample points for the estimate")
+		dump    = flag.Bool("dump", false, "dump every equation polyhedron")
+		seed    = flag.Uint64("seed", 1, "sampling seed")
+		workers = flag.Int("workers", 0, "classification goroutines for the sampled estimate (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the output")
 	)
 	flag.Parse()
 
@@ -107,7 +109,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	est := sampling.EstimateMissRatio(an, *points, 0.90, rand.New(rand.NewPCG(*seed, *seed^0xabcd)))
+	if *workers == 0 {
+		*workers = core.DefaultWorkers()
+	}
+	est := sampling.EstimateMissRatioWorkers(an, *points, 0.90, rand.New(rand.NewPCG(*seed, *seed^0xabcd)), *workers)
 	fmt.Printf("\nsampled estimate (%d points, 90%% confidence): %v\n", *points, est)
 
 	fmt.Println("per-reference estimates:")

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	cmetiling "repro"
 	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
@@ -48,6 +49,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-search deadline (0 = unbounded)")
 		budget   = flag.Int("budget", 0, "per-search evaluation budget (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes results")
+		traceOut = flag.String("trace-out", "", "append the telemetry event stream of every search to this JSONL file")
+		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
+		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -61,6 +65,32 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget, Workers: *workers,
+	}
+	var recorders []cmetiling.Recorder
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		sink := cmetiling.NewJSONLSink(f)
+		cliutil.AtExit(func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			}
+			f.Close()
+		})
+		recorders = append(recorders, sink)
+	}
+	if *metrics {
+		sink := cmetiling.NewExpvarSink("cmetiling")
+		cliutil.AtExit(func() { sink.WriteTo(os.Stderr) })
+		recorders = append(recorders, sink)
+	}
+	cfg.Observer = cmetiling.MultiRecorder(recorders...)
+	if *pprofOut != "" {
+		if err := cliutil.StartCPUProfile(*pprofOut); err != nil {
+			fatal(err)
+		}
 	}
 
 	// A first Ctrl-C cancels the context: in-flight searches stop at the

@@ -46,6 +46,9 @@ func main() {
 		resume   = flag.String("resume", "", "resume the search from this checkpoint file")
 		progress = flag.Bool("progress", false, "print per-generation progress to stderr")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the result")
+		traceOut = flag.String("trace-out", "", "append the search's telemetry event stream to this JSONL file")
+		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
+		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -96,6 +99,32 @@ func main() {
 				p.Gen, p.BestEver, p.Evaluations, p.Elapsed.Round(time.Millisecond))
 		}
 	}
+	var recorders []cmetiling.Recorder
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		sink := cmetiling.NewJSONLSink(f)
+		cliutil.AtExit(func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tilegen: trace: %v\n", err)
+			}
+			f.Close()
+		})
+		recorders = append(recorders, sink)
+	}
+	if *metrics {
+		sink := cmetiling.NewExpvarSink("cmetiling")
+		cliutil.AtExit(func() { sink.WriteTo(os.Stderr) })
+		recorders = append(recorders, sink)
+	}
+	opt.Observer = cmetiling.MultiRecorder(recorders...)
+	if *pprofOut != "" {
+		if err := cliutil.StartCPUProfile(*pprofOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *ckptPath != "" {
 		opt.Checkpoint = func(c *cmetiling.Checkpoint) error {
 			return cliutil.SaveCheckpoint(*ckptPath, c)
@@ -120,7 +149,7 @@ func main() {
 	var stopped cmetiling.StopReason
 	switch *mode {
 	case "tile":
-		res, err := cmetiling.OptimizeTilingContext(ctx, nest, opt)
+		res, err := cmetiling.OptimizeTiling(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -131,7 +160,7 @@ func main() {
 		fmt.Println("\ntiled nest:")
 		fmt.Print(res.TiledNest.String())
 	case "order":
-		res, err := cmetiling.OptimizeTilingOrderContext(ctx, nest, opt)
+		res, err := cmetiling.OptimizeTilingOrder(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -142,7 +171,7 @@ func main() {
 		fmt.Println("\ntiled nest:")
 		fmt.Print(res.TiledNest.String())
 	case "pad":
-		res, err := cmetiling.OptimizePaddingContext(ctx, nest, opt)
+		res, err := cmetiling.OptimizePadding(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -150,14 +179,14 @@ func main() {
 		fmt.Printf("\nbest padding: inter %v intra %v (elements)\n", res.Plan.Inter, res.Plan.Intra)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
 	case "padtile":
-		res, err := cmetiling.OptimizePaddingThenTilingContext(ctx, nest, opt)
+		res, err := cmetiling.OptimizePaddingThenTiling(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
 		stopped = res.Stopped
 		printCombined(res)
 	case "joint":
-		res, err := cmetiling.OptimizeJointContext(ctx, nest, opt)
+		res, err := cmetiling.OptimizeJoint(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}

@@ -9,16 +9,34 @@
 //
 //	k, _ := cmetiling.GetKernel("MM")            // Figure-1 matrix multiply
 //	nest, _ := k.Instance(500)                   // N=500 instance
-//	res, _ := cmetiling.OptimizeTiling(nest, cmetiling.Options{
+//	res, _ := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{
 //		Cache: cmetiling.DM8K,                   // 8KB direct-mapped, 32B lines
 //		Seed:  1,
 //	})
 //	fmt.Printf("tile %v: %.1f%% -> %.1f%% replacement misses\n",
 //		res.Tile, 100*res.Before.ReplacementRatio, 100*res.After.ReplacementRatio)
 //
+// Every search takes a context first: cancel it or give it a deadline and
+// the search stops at the next candidate boundary, returning the best
+// result found so far (never an error). The historical OptimizeXContext
+// names remain as deprecated aliases.
+//
 // Custom loop nests are built from the ir package's types (re-exported
 // here): arrays with explicit layout, affine references, rectangular
 // loops. See examples/ for complete programs.
+//
+// # Observing a search
+//
+// Options.Observer attaches a telemetry Recorder to a search: a typed
+// event stream (search start/stop, phase changes, GA generations,
+// checkpoints, evaluation batches) plus monotonic counters (objective
+// evaluations, memo hits, sampled points, CME walk steps, analyzer-pool
+// hits/misses). Three sinks ship with the package — NewJSONLSink (a
+// machine-readable event log, byte-reproducible for a fixed seed with
+// Workers=1), NewTTYSink (human-readable progress lines) and
+// NewExpvarSink (aggregate metrics under /debug/vars) — and
+// MultiRecorder fans one search out to several sinks. A nil Observer
+// costs nothing.
 //
 // # Architecture
 //
@@ -54,6 +72,8 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/parser"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/sinks"
 	"repro/internal/tiling"
 )
 
@@ -132,8 +152,9 @@ type (
 	// paper's Figure-7 schedule; the others mark bounded runs whose
 	// results are still valid best-so-far candidates).
 	StopReason = ga.StopReason
-	// Progress is the per-generation report delivered to
-	// Options.Progress.
+	// Progress is the per-generation report delivered to the deprecated
+	// Options.Progress callback; new code should observe
+	// GenerationDoneEvent through Options.Observer instead.
 	Progress = ga.Progress
 	// Checkpoint is a resumable generation-boundary snapshot of a
 	// search, written through Options.Checkpoint and restored through
@@ -149,6 +170,65 @@ const (
 	StopCancelled = ga.StopCancelled
 )
 
+// ErrBadOption is the sentinel every Options.Validate failure wraps;
+// match it with errors.Is to distinguish a misconfigured search from a
+// runtime fault.
+var ErrBadOption = core.ErrBadOption
+
+// Telemetry: the typed observation surface of a search, attached through
+// Options.Observer (see "Observing a search" in the package docs).
+type (
+	// Recorder receives a search's typed events and counter deltas. The
+	// shipped sinks implement it; so can any caller type.
+	Recorder = telemetry.Recorder
+	// Event is one typed occurrence in a search's lifecycle; switch on
+	// the concrete ...Event types or dispatch on Event.Kind().
+	Event = telemetry.Event
+	// EventKind discriminates event types ("search_start", "generation",
+	// ...).
+	EventKind = telemetry.Kind
+	// Counters are the monotonic search counters, delivered as deltas to
+	// Recorder.Add.
+	Counters = telemetry.Counters
+
+	// SearchStartEvent opens a search's event stream.
+	SearchStartEvent = telemetry.SearchStart
+	// PhaseChangeEvent marks a phase transition (e.g. the padding →
+	// tiling hand-off, or finalisation).
+	PhaseChangeEvent = telemetry.PhaseChange
+	// GenerationDoneEvent reports one completed GA generation.
+	GenerationDoneEvent = telemetry.GenerationDone
+	// EvaluationBatchEvent reports one objective evaluation over the
+	// shared sample.
+	EvaluationBatchEvent = telemetry.EvaluationBatch
+	// CheckpointWrittenEvent reports a persisted search snapshot.
+	CheckpointWrittenEvent = telemetry.CheckpointWritten
+	// SearchStopEvent closes a search's event stream with its outcome.
+	SearchStopEvent = telemetry.SearchStop
+
+	// JSONLSink logs every event as one JSON line (deterministic for a
+	// fixed seed with Workers=1 unless Timestamps is set).
+	JSONLSink = sinks.JSONL
+	// TTYSink prints human-readable progress lines.
+	TTYSink = sinks.TTY
+	// ExpvarSink aggregates counters into an expvar map.
+	ExpvarSink = sinks.Expvar
+)
+
+// Sink constructors and recorder composition.
+var (
+	// NewJSONLSink returns a JSONL event log writing to w; call Close to
+	// flush the final counters line.
+	NewJSONLSink = sinks.NewJSONL
+	// NewTTYSink returns a progress writer for w.
+	NewTTYSink = sinks.NewTTY
+	// NewExpvarSink returns an expvar aggregate registered under name.
+	NewExpvarSink = sinks.NewExpvar
+	// MultiRecorder fans events and counters out to several recorders
+	// (nil entries are skipped; all-nil collapses to nil).
+	MultiRecorder = telemetry.Multi
+)
+
 // WriteCheckpoint and ReadCheckpoint (de)serialise search snapshots as
 // JSON for persistence across processes.
 var (
@@ -156,74 +236,88 @@ var (
 	ReadCheckpoint  = ga.ReadCheckpoint
 )
 
-// OptimizeTiling searches tile sizes with the CME+GA method of §3.
-func OptimizeTiling(nest *Nest, opt Options) (*TilingResult, error) {
-	return core.OptimizeTiling(context.Background(), nest, opt)
+// OptimizeTiling searches tile sizes with the CME+GA method of §3. The
+// context bounds the search: on cancellation or deadline expiry it stops
+// at the next candidate boundary and returns the best tile found so far,
+// with the reason in TilingResult.Stopped — not an error.
+func OptimizeTiling(ctx context.Context, nest *Nest, opt Options) (*TilingResult, error) {
+	return core.OptimizeTiling(ctx, nest, opt)
 }
 
-// OptimizeTilingContext is OptimizeTiling bounded by a context: on
-// cancellation or deadline expiry the search stops at the next candidate
-// boundary and returns the best tile found so far, with the reason in
-// TilingResult.Stopped — not an error.
+// OptimizeTilingContext is OptimizeTiling under its historical name.
+//
+// Deprecated: OptimizeTiling now takes the context directly.
 func OptimizeTilingContext(ctx context.Context, nest *Nest, opt Options) (*TilingResult, error) {
-	return core.OptimizeTiling(ctx, nest, opt)
+	return OptimizeTiling(ctx, nest, opt)
 }
 
 // OptimizeTilingOrder searches tile sizes together with the interchange
 // order of the tile loops — the full "strip-mining + interchange" space
 // (an extension of the paper's fixed-order search).
-func OptimizeTilingOrder(nest *Nest, opt Options) (*OrderedTilingResult, error) {
-	return core.OptimizeTilingOrder(context.Background(), nest, opt)
+func OptimizeTilingOrder(ctx context.Context, nest *Nest, opt Options) (*OrderedTilingResult, error) {
+	return core.OptimizeTilingOrder(ctx, nest, opt)
 }
 
-// OptimizeTilingOrderContext is OptimizeTilingOrder bounded by a context.
+// OptimizeTilingOrderContext is OptimizeTilingOrder under its historical
+// name.
+//
+// Deprecated: OptimizeTilingOrder now takes the context directly.
 func OptimizeTilingOrderContext(ctx context.Context, nest *Nest, opt Options) (*OrderedTilingResult, error) {
-	return core.OptimizeTilingOrder(ctx, nest, opt)
+	return OptimizeTilingOrder(ctx, nest, opt)
 }
 
 // OptimizeTilingMultiLevel searches tile sizes against a whole cache
 // hierarchy, minimising the penalty-weighted replacement-miss cost (an
 // extension; the paper evaluates one level at a time).
-func OptimizeTilingMultiLevel(nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
-	return core.OptimizeTilingMultiLevel(context.Background(), nest, levels, opt)
-}
-
-// OptimizeTilingMultiLevelContext is OptimizeTilingMultiLevel bounded by a
-// context.
-func OptimizeTilingMultiLevelContext(ctx context.Context, nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+func OptimizeTilingMultiLevel(ctx context.Context, nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
 	return core.OptimizeTilingMultiLevel(ctx, nest, levels, opt)
 }
 
-// OptimizePadding searches inter-/intra-array padding (§4.3, [28]).
-func OptimizePadding(nest *Nest, opt Options) (*PaddingResult, error) {
-	return core.OptimizePadding(context.Background(), nest, opt)
+// OptimizeTilingMultiLevelContext is OptimizeTilingMultiLevel under its
+// historical name.
+//
+// Deprecated: OptimizeTilingMultiLevel now takes the context directly.
+func OptimizeTilingMultiLevelContext(ctx context.Context, nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
+	return OptimizeTilingMultiLevel(ctx, nest, levels, opt)
 }
 
-// OptimizePaddingContext is OptimizePadding bounded by a context.
-func OptimizePaddingContext(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
+// OptimizePadding searches inter-/intra-array padding (§4.3, [28]).
+func OptimizePadding(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
 	return core.OptimizePadding(ctx, nest, opt)
 }
 
-// OptimizePaddingThenTiling runs the two searches sequentially (Table 3).
-func OptimizePaddingThenTiling(nest *Nest, opt Options) (*CombinedResult, error) {
-	return core.OptimizePaddingThenTiling(context.Background(), nest, opt)
+// OptimizePaddingContext is OptimizePadding under its historical name.
+//
+// Deprecated: OptimizePadding now takes the context directly.
+func OptimizePaddingContext(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
+	return OptimizePadding(ctx, nest, opt)
 }
 
-// OptimizePaddingThenTilingContext is OptimizePaddingThenTiling bounded by
-// a context covering both phases.
-func OptimizePaddingThenTilingContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
+// OptimizePaddingThenTiling runs the two searches sequentially (Table 3);
+// the context covers both phases.
+func OptimizePaddingThenTiling(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
 	return core.OptimizePaddingThenTiling(ctx, nest, opt)
+}
+
+// OptimizePaddingThenTilingContext is OptimizePaddingThenTiling under its
+// historical name.
+//
+// Deprecated: OptimizePaddingThenTiling now takes the context directly.
+func OptimizePaddingThenTilingContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
+	return OptimizePaddingThenTiling(ctx, nest, opt)
 }
 
 // OptimizeJoint searches padding and tiling in a single genome (the
 // paper's stated future work).
-func OptimizeJoint(nest *Nest, opt Options) (*CombinedResult, error) {
-	return core.OptimizeJoint(context.Background(), nest, opt)
+func OptimizeJoint(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
+	return core.OptimizeJoint(ctx, nest, opt)
 }
 
-// OptimizeJointContext is OptimizeJoint bounded by a context.
+// OptimizeJointContext is OptimizeJoint under its historical name.
+//
+// Deprecated: OptimizeJoint now takes the context directly.
 func OptimizeJointContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
-	return core.OptimizeJoint(ctx, nest, opt)
+	return OptimizeJoint(ctx, nest, opt)
 }
 
 // Simulate runs the nest's full reference trace through a trace-driven

@@ -1,6 +1,7 @@
 package cmetiling_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cmetiling.DM8K, Seed: 1})
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{Cache: cmetiling.DM8K, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ end
 		t.Fatal(err)
 	}
 	cfg := cmetiling.CacheConfig{Size: 2048, LineSize: 32, Assoc: 1}
-	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cfg, Seed: 6})
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{Cache: cfg, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cmetiling_test
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -54,6 +55,26 @@ end
 	//       do j = ii_j, min(ii_j+2,10)
 	//         read  b(i,j)
 	//         write a(j,i)
+}
+
+// ExampleNewJSONLSink shows the JSONL telemetry wire format. Attaching
+// the sink through Options.Observer makes a search emit exactly these
+// lines — one JSON object per event, plus a final counters line on Close;
+// the two shown here are fed directly so the schema is visible.
+func ExampleNewJSONLSink() {
+	var buf bytes.Buffer
+	sink := cmetiling.NewJSONLSink(&buf)
+	// e.g. cmetiling.OptimizeTiling(ctx, nest, cmetiling.Options{Observer: sink, ...})
+	sink.Event(cmetiling.SearchStartEvent{Search: "tiling", Kernel: "MM", Depth: 3,
+		CacheSize: 8192, CacheLine: 32, CacheAssoc: 1, Seed: 1, SamplePoints: 164, Workers: 1})
+	sink.Event(cmetiling.SearchStopEvent{Search: "tiling", Stopped: "converged",
+		Generations: 25, Evaluations: 402, BestValue: 18})
+	sink.Close()
+	fmt.Print(buf.String())
+	// Output:
+	// {"ev":"search_start","search":"tiling","kernel":"MM","depth":3,"cache":"8192:32:1","seed":1,"points":164,"workers":1}
+	// {"ev":"search_stop","search":"tiling","stopped":"converged","gens":25,"evals":402,"best_value":18}
+	// {"ev":"counters","evaluations":0,"memo_hits":0,"sampled_points":0,"walk_steps":0,"classified_accesses":0,"walk_cap_hits":0,"pool_hits":0,"pool_misses":0}
 }
 
 // ExampleAnalyzeExact shows that the analytical model equals simulation.

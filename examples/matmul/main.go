@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	cfg := cmetiling.DM8K
 
 	// 1. Analytical search (sampled CMEs + GA).
-	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cfg, Seed: 7})
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{Cache: cfg, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 
 	fmt.Println("kernel: MM, N=300 — tiling for an L1+L2 hierarchy")
 
-	multi, err := cmetiling.OptimizeTilingMultiLevel(nest, levels, cmetiling.Options{Seed: 19})
+	multi, err := cmetiling.OptimizeTilingMultiLevel(context.Background(), nest, levels, cmetiling.Options{Seed: 19})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	// Compare with optimizing L1 alone.
-	l1only, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: l1, Seed: 19})
+	l1only, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{Cache: l1, Seed: 19})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,19 +24,19 @@ func main() {
 
 	fmt.Println("kernel: VPENTA1 (NAS) — cache-aligned arrays, N=256")
 
-	tileOnly, err := cmetiling.OptimizeTiling(nest, opt)
+	tileOnly, err := cmetiling.OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	padOnly, err := cmetiling.OptimizePadding(nest, opt)
+	padOnly, err := cmetiling.OptimizePadding(context.Background(), nest, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := cmetiling.OptimizePaddingThenTiling(nest, opt)
+	seq, err := cmetiling.OptimizePaddingThenTiling(context.Background(), nest, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	joint, err := cmetiling.OptimizeJoint(nest, opt)
+	joint, err := cmetiling.OptimizeJoint(context.Background(), nest, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

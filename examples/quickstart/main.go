@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	// lines — the paper's primary configuration. The zero-value options
 	// use the paper's parameters: 164 sample points per evaluation,
 	// population 30, crossover 0.9, mutation 0.001, 15-25 generations.
-	res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{
 		Cache: cmetiling.DM8K,
 		Seed:  1,
 	})

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		{Size: 32 * 1024, LineSize: 32, Assoc: 1}, // the paper's Figure 9
 		{Size: 8 * 1024, LineSize: 32, Assoc: 2},  // beyond the paper: 2-way
 	} {
-		res, err := cmetiling.OptimizeTiling(nest, cmetiling.Options{Cache: cfg, Seed: 3})
+		res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{Cache: cfg, Seed: 3})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,103 @@
+package cmetiling_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// optimizeFuncs parses every non-test Go file in dir and returns, for each
+// exported Optimize* function, whether its doc comment carries a
+// "Deprecated:" marker and whether its first parameter is a
+// context.Context.
+func optimizeFuncs(t *testing.T, dir string) map[string]struct{ deprecated, ctxFirst bool } {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]struct{ deprecated, ctxFirst bool })
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || !fn.Name.IsExported() ||
+					!strings.HasPrefix(fn.Name.Name, "Optimize") {
+					continue
+				}
+				info := struct{ deprecated, ctxFirst bool }{}
+				if fn.Doc != nil && strings.Contains(fn.Doc.Text(), "Deprecated:") {
+					info.deprecated = true
+				}
+				if params := fn.Type.Params.List; len(params) > 0 {
+					if sel, ok := params[0].Type.(*ast.SelectorExpr); ok {
+						if ident, ok := sel.X.(*ast.Ident); ok &&
+							ident.Name == "context" && sel.Sel.Name == "Context" {
+							info.ctxFirst = true
+						}
+					}
+				}
+				out[fn.Name.Name] = info
+			}
+		}
+	}
+	return out
+}
+
+// TestFacadeParity pins the ctx-first API contract of the redesign:
+// every exported core search has exactly one canonical ctx-first facade
+// wrapper plus exactly one deprecated <name>Context alias, and nothing
+// else. A new search added to internal/core without facade coverage (or
+// a facade function with no core backing) fails this test.
+func TestFacadeParity(t *testing.T) {
+	core := optimizeFuncs(t, "internal/core")
+	facade := optimizeFuncs(t, ".")
+
+	canonical := make(map[string]bool)
+	deprecated := make(map[string]bool)
+	for name, info := range facade {
+		if info.deprecated {
+			deprecated[name] = true
+		} else {
+			canonical[name] = true
+			if !info.ctxFirst {
+				t.Errorf("facade %s is canonical but not ctx-first", name)
+			}
+		}
+	}
+
+	for name, info := range core {
+		if !info.ctxFirst {
+			t.Errorf("core %s does not take a context first", name)
+		}
+		if !canonical[name] {
+			t.Errorf("core %s has no canonical ctx-first facade wrapper", name)
+		}
+		if !deprecated[name+"Context"] {
+			t.Errorf("core %s has no deprecated %sContext facade alias", name, name)
+		}
+	}
+	for name := range canonical {
+		if _, ok := core[name]; !ok {
+			t.Errorf("facade %s has no matching core search", name)
+		}
+	}
+	for name := range deprecated {
+		base := strings.TrimSuffix(name, "Context")
+		if base == name {
+			t.Errorf("deprecated facade %s is not a *Context alias", name)
+		} else if _, ok := core[base]; !ok {
+			t.Errorf("deprecated facade %s has no matching core search %s", name, base)
+		}
+	}
+	if len(canonical) == 0 || len(canonical) != len(deprecated) {
+		t.Errorf("facade has %d canonical and %d deprecated Optimize functions; want equal and non-zero",
+			len(canonical), len(deprecated))
+	}
+}

@@ -1,12 +1,14 @@
 // Package cliutil holds the small helpers shared by the command line
 // tools: cache-geometry and tile-vector parsers, a single exit path that
-// flushes buffered output, and checkpoint-file persistence.
+// flushes buffered output and runs registered cleanups, checkpoint-file
+// persistence, and CPU-profile setup.
 package cliutil
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,14 +61,51 @@ func ParseTile(s string, depth int) ([]int64, error) {
 // osExit is swapped out by tests.
 var osExit = os.Exit
 
-// Exit is the single exit path for the command line tools: it flushes
-// stdout and stderr (best-effort; pipes and terminals report ENOTTY/EINVAL
-// on Sync, which is fine) so a bounded or interrupted run never loses its
-// partially written report, then terminates with the given code.
+// atExit holds the cleanups Exit runs before terminating. Exit calls
+// os.Exit, so ordinary defers never fire in the tools; anything that must
+// flush on the way out (telemetry sinks, CPU profiles) registers here.
+var atExit []func()
+
+// AtExit registers fn to run when Exit (or Fatal) terminates the process.
+// Functions run in reverse registration order, each at most once.
+func AtExit(fn func()) { atExit = append(atExit, fn) }
+
+// runAtExit runs and clears the registered cleanups, LIFO.
+func runAtExit() {
+	for i := len(atExit) - 1; i >= 0; i-- {
+		atExit[i]()
+	}
+	atExit = nil
+}
+
+// Exit is the single exit path for the command line tools: it runs the
+// AtExit cleanups, then flushes stdout and stderr (best-effort; pipes and
+// terminals report ENOTTY/EINVAL on Sync, which is fine) so a bounded or
+// interrupted run never loses its partially written report, then
+// terminates with the given code.
 func Exit(code int) {
+	runAtExit()
 	_ = os.Stdout.Sync()
 	_ = os.Stderr.Sync()
 	osExit(code)
+}
+
+// StartCPUProfile begins a CPU profile written to path and registers its
+// stop via AtExit, so the profile survives both normal exits and Fatal.
+func StartCPUProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	AtExit(func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	})
+	return nil
 }
 
 // Fatal reports err on stderr prefixed with the tool name and exits 1

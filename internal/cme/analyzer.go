@@ -276,6 +276,30 @@ func (a *Analyzer) WalkStats() (steps, accesses uint64) {
 	return a.walkSteps, a.classified
 }
 
+// WalkCounts is the WalkStats/CapHits triple as a value, so callers can
+// snapshot an analyzer before and after a batch and report the delta even
+// when Rebind (which zeroes the accounting) happens in between.
+type WalkCounts struct {
+	Steps      uint64
+	Classified uint64
+	CapHits    uint64
+}
+
+// WalkCounts returns the analyzer's cumulative walk accounting.
+func (a *Analyzer) WalkCounts() WalkCounts {
+	return WalkCounts{Steps: a.walkSteps, Classified: a.classified, CapHits: a.capHits}
+}
+
+// Plus returns the fieldwise sum w + o.
+func (w WalkCounts) Plus(o WalkCounts) WalkCounts {
+	return WalkCounts{w.Steps + o.Steps, w.Classified + o.Classified, w.CapHits + o.CapHits}
+}
+
+// Sub returns the fieldwise difference w - o (a delta since a snapshot).
+func (w WalkCounts) Sub(o WalkCounts) WalkCounts {
+	return WalkCounts{w.Steps - o.Steps, w.Classified - o.Classified, w.CapHits - o.CapHits}
+}
+
 func buildRefInfo(r *ir.Ref, depth int) (refInfo, error) {
 	strides := r.Array.Strides()
 	info := refInfo{

@@ -38,6 +38,7 @@ import (
 	"repro/internal/iterspace"
 	"repro/internal/padding"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
 	"repro/internal/tiling"
 )
 
@@ -73,9 +74,22 @@ type Options struct {
 	// MaxEvaluations caps distinct objective evaluations per GA run
 	// (0 = unlimited); exhausting it stops the search with ga.StopBudget.
 	MaxEvaluations int
+	// Observer, when non-nil, receives the search's typed telemetry: one
+	// event per lifecycle transition (search start/stop, phase changes,
+	// GA generations, checkpoints, evaluation batches) plus monotonic
+	// counter deltas (objective evaluations, memo hits, sampled points,
+	// CME walk steps, analyzer-pool hits/misses). The stream for a fixed
+	// seed is deterministic; with Workers=1 it is byte-for-byte
+	// reproducible through the JSONL sink. A nil Observer is free: the
+	// hot paths pay one pointer check and allocate nothing.
+	Observer telemetry.Recorder
 	// Progress, when non-nil, is invoked after every GA generation with
 	// the generation number, best fitness, evaluations spent and elapsed
 	// wall-clock time.
+	//
+	// Deprecated: Progress is a compatibility adapter over the telemetry
+	// stream — it is translated into an Observer that forwards
+	// GenerationDone events. New code should set Observer directly.
 	Progress func(ga.Progress)
 	// Checkpoint, when non-nil, receives a resumable snapshot after every
 	// completed GA generation. For the sequential padding+tiling search
@@ -86,6 +100,64 @@ type Options struct {
 	// exactly (same nest, options and seed required).
 	ResumeFrom *ga.Checkpoint
 }
+
+// ErrBadOption is the sentinel wrapped by every Options.Validate failure,
+// so callers can distinguish a misconfigured search from a runtime fault
+// with errors.Is(err, ErrBadOption).
+var ErrBadOption = errors.New("core: bad option")
+
+// badOption wraps ErrBadOption with the offending field and detail.
+func badOption(field, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrBadOption, field, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the options for a search. Zero values that withDefaults
+// fills in (SamplePoints, Confidence, Workers, the GA block) are valid;
+// everything a caller sets explicitly must be in range. All searches call
+// Validate before running, so a bad configuration fails fast with a typed
+// ErrBadOption error instead of misbehaving mid-search.
+func (o Options) Validate() error {
+	if err := o.Cache.Validate(); err != nil {
+		return badOption("Cache", "%v", err)
+	}
+	if o.SamplePoints < 0 {
+		return badOption("SamplePoints", "%d is negative", o.SamplePoints)
+	}
+	if o.Confidence < 0 || o.Confidence >= 1 {
+		return badOption("Confidence", "%v not in [0, 1)", o.Confidence)
+	}
+	if o.Workers < 0 {
+		return badOption("Workers", "%d is negative", o.Workers)
+	}
+	if o.Deadline < 0 {
+		return badOption("Deadline", "%v is negative", o.Deadline)
+	}
+	if o.MaxEvaluations < 0 {
+		return badOption("MaxEvaluations", "%d is negative", o.MaxEvaluations)
+	}
+	if o.GA.PopSize != 0 {
+		if err := o.GA.Validate(); err != nil {
+			return badOption("GA", "%v", err)
+		}
+	}
+	return nil
+}
+
+// progressRecorder adapts the deprecated Options.Progress callback onto
+// the telemetry stream: GenerationDone events become ga.Progress calls;
+// all other events and counters are ignored.
+type progressRecorder struct{ fn func(ga.Progress) }
+
+func (p progressRecorder) Event(e telemetry.Event) {
+	if g, ok := e.(telemetry.GenerationDone); ok {
+		p.fn(ga.Progress{
+			Gen: g.Gen, Best: g.Best, Avg: g.Avg, BestEver: g.BestEver,
+			Evaluations: g.Evaluations, Elapsed: g.Elapsed,
+		})
+	}
+}
+
+func (p progressRecorder) Add(telemetry.Counters) {}
 
 func (o Options) withDefaults() Options {
 	if o.SamplePoints == 0 {
@@ -100,6 +172,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = DefaultWorkers()
+	}
+	if o.Progress != nil {
+		// Fold the legacy callback into the observer and clear it, so
+		// composite searches that re-default their sub-options never
+		// double-wrap the adapter.
+		o.Observer = telemetry.Multi(o.Observer, progressRecorder{o.Progress})
+		o.Progress = nil
 	}
 	return o
 }
@@ -128,15 +207,15 @@ func (o Options) searchContext(ctx context.Context) (context.Context, context.Ca
 	return context.WithCancel(ctx)
 }
 
-// gaRuntime copies the Options runtime controls (budget, progress,
+// gaRuntime copies the Options runtime controls (budget, observer,
 // checkpointing) into a GA configuration, tagging checkpoints with the
 // search-phase label.
 func (o Options) gaRuntime(cfg ga.Config, label string) ga.Config {
 	if cfg.MaxEvaluations == 0 {
 		cfg.MaxEvaluations = o.MaxEvaluations
 	}
-	if cfg.OnProgress == nil {
-		cfg.OnProgress = o.Progress
+	if cfg.Observer == nil {
+		cfg.Observer = o.Observer
 	}
 	if cfg.Checkpoint == nil {
 		cfg.Checkpoint = o.Checkpoint
@@ -148,6 +227,38 @@ func (o Options) gaRuntime(cfg ga.Config, label string) ga.Config {
 		cfg.Label = label
 	}
 	return cfg
+}
+
+// emitStart announces a search to the observer: label, kernel, cache
+// geometry and the reproducibility-relevant knobs.
+func (o Options) emitStart(nest *ir.Nest, label string) time.Time {
+	start := time.Now()
+	if o.Observer != nil {
+		o.Observer.Event(telemetry.SearchStart{
+			Search: label, Kernel: nest.Name, Depth: nest.Depth(),
+			CacheSize: o.Cache.Size, CacheLine: o.Cache.LineSize, CacheAssoc: o.Cache.Assoc,
+			Seed: o.Seed, SamplePoints: o.SamplePoints, Workers: o.Workers,
+		})
+	}
+	return start
+}
+
+// emitPhase announces a phase transition within a search.
+func (o Options) emitPhase(label, phase string) {
+	if o.Observer != nil {
+		o.Observer.Event(telemetry.PhaseChange{Search: label, Phase: phase})
+	}
+}
+
+// emitStop closes a search's event stream with its outcome.
+func (o Options) emitStop(label string, res ga.Result, start time.Time) {
+	if o.Observer != nil {
+		o.Observer.Event(telemetry.SearchStop{
+			Search: label, Stopped: res.Stopped.String(),
+			Generations: res.Generations, Evaluations: res.Evaluations,
+			BestValue: res.BestValue, Elapsed: time.Since(start),
+		})
+	}
 }
 
 // errSink collects the first genuine evaluation error of a search.
@@ -184,6 +295,7 @@ type evaluator struct {
 	sample  *sampling.Sample
 	conf    float64
 	workers int
+	obs     telemetry.Recorder
 
 	// mu guards the pool: GA objectives run serially, but TileObjective
 	// escapes to arbitrary callers.
@@ -212,24 +324,25 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 		sample:  sampling.Draw(box, opt.SamplePoints, rng),
 		conf:    opt.Confidence,
 		workers: workers,
+		obs:     opt.Observer,
 	}, nil
 }
 
 // analyzers returns the worker analyzer pool bound to (nest, space):
-// rebinding in place when the pool already analyses nest, rebuilding it
-// otherwise. Callers hold e.mu.
-func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) ([]*cme.Analyzer, error) {
+// rebinding in place when the pool already analyses nest (reused=true),
+// rebuilding it otherwise. Callers hold e.mu.
+func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) (ans []*cme.Analyzer, reused bool, err error) {
 	if e.poolNest == nest && len(e.pool) > 0 {
 		for _, an := range e.pool {
 			if err := an.Rebind(space); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 		}
-		return e.pool, nil
+		return e.pool, true, nil
 	}
 	an, err := cme.NewAnalyzer(nest, space, e.cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	pool := make([]*cme.Analyzer, 1, max(e.workers, 1))
 	pool[0] = an
@@ -237,19 +350,46 @@ func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) ([]*cme.Anal
 		pool = append(pool, an.Clone())
 	}
 	e.pool, e.poolNest = pool, nest
-	return pool, nil
+	return pool, false, nil
 }
 
 // evalSpace evaluates the sample over nest traversed in space order, using
-// the pooled parallel workers.
+// the pooled parallel workers. With an observer attached it also reports
+// the evaluation batch and the pool hit/miss counter.
 func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspace.Space) (cachesim.Stats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ans, err := e.analyzers(nest, space)
+	ans, reused, err := e.analyzers(nest, space)
 	if err != nil {
 		return cachesim.Stats{}, err
 	}
-	return e.sample.EvaluateWith(ctx, ans)
+	if e.obs != nil {
+		if reused {
+			e.obs.Add(telemetry.Counters{PoolHits: 1})
+		} else {
+			e.obs.Add(telemetry.Counters{PoolMisses: 1})
+		}
+	}
+	return e.sample.EvaluateObserved(ctx, ans, e.obs)
+}
+
+// evalFresh evaluates the sample on a one-off analyzer — the multi-level
+// and interchange paths, whose per-candidate cache configurations cannot
+// reuse the pool — fanning out over worker clones and reporting the batch
+// to the observer.
+func (e *evaluator) evalFresh(ctx context.Context, an *cme.Analyzer) (cachesim.Stats, error) {
+	workers := e.workers
+	if n := len(e.sample.Points); workers > n {
+		workers = n
+	}
+	ans := make([]*cme.Analyzer, 1, max(workers, 1))
+	ans[0] = an
+	if len(e.sample.Points) >= 64 {
+		for len(ans) < cap(ans) {
+			ans = append(ans, an.Clone())
+		}
+	}
+	return e.sample.EvaluateObserved(ctx, ans, e.obs)
 }
 
 // tiled evaluates a tile vector over (a possibly padded copy of) the nest.
@@ -289,6 +429,9 @@ type TilingResult struct {
 // The context bounds the search: on cancellation or deadline expiry the
 // best-so-far tile is returned with the matching Stopped reason.
 func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
@@ -296,6 +439,7 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	if err != nil {
 		return nil, err
 	}
+	started := opt.emitStart(nest, "tiling")
 	uppers := make([]int64, nest.Depth())
 	for d := range uppers {
 		uppers[d] = ev.box.Extent(d)
@@ -330,6 +474,7 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	// Finalisation deliberately ignores the (possibly expired) search
 	// context: the best-so-far contract promises a fully populated
 	// result, and this tail is a bounded two evaluations.
+	opt.emitPhase("tiling", "finalize")
 	fin := context.Background()
 	beforeStats, err := ev.untiled(fin, nest)
 	if err != nil {
@@ -339,6 +484,7 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	if err != nil {
 		return nil, err
 	}
+	opt.emitStop("tiling", res, started)
 	return &TilingResult{
 		Tile:      best,
 		Before:    ev.estimate(beforeStats),
@@ -435,6 +581,9 @@ type OrderedTilingResult struct {
 // reuse-carrying loop should be the innermost tile loop) this beats every
 // fixed-order tiling.
 func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*OrderedTilingResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
@@ -442,6 +591,7 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	if err != nil {
 		return nil, err
 	}
+	started := opt.emitStart(nest, "tiling-order")
 	k := nest.Depth()
 	uppers := make([]int64, k)
 	for d := range uppers {
@@ -489,6 +639,7 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	}
 	// Finalisation runs through the same pooled parallel evaluator as the
 	// search itself, outside the (possibly expired) search context.
+	opt.emitPhase("tiling-order", "finalize")
 	fin := context.Background()
 	afterStats, err := ev.evalSpace(fin, nest, space)
 	if err != nil {
@@ -498,6 +649,7 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	if err != nil {
 		return nil, err
 	}
+	opt.emitStop("tiling-order", res, started)
 	return &OrderedTilingResult{
 		Tile:      tile,
 		Order:     order,
@@ -538,6 +690,9 @@ func lehmerToPerm(code []int64, k int) []int {
 // optimizers (simulated annealing, random search; see internal/search) be
 // compared against the GA on the identical deterministic objective.
 func TileObjective(nest *ir.Nest, opt Options) (func(tile []int64) float64, *iterspace.Box, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
 	opt = opt.withDefaults()
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
@@ -565,6 +720,9 @@ type PaddingResult struct {
 // OptimizePadding searches inter- and intra-array padding with the GA,
 // leaving the loop order untouched (Table 3's "Padding" column).
 func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
@@ -572,6 +730,7 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	if err != nil {
 		return nil, err
 	}
+	started := opt.emitStart(nest, "padding")
 	spec, decodePlan := paddingSpec(nest, opt.Cache)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "padding")
 	if len(gaCfg.SeedValues) == 0 {
@@ -605,6 +764,7 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	if err != nil {
 		return nil, err
 	}
+	opt.emitPhase("padding", "finalize")
 	fin := context.Background()
 	beforeStats, err := ev.untiled(fin, nest)
 	if err != nil {
@@ -614,6 +774,7 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	if err != nil {
 		return nil, err
 	}
+	opt.emitStop("padding", res, started)
 	return &PaddingResult{
 		Plan:       plan,
 		Before:     ev.estimate(beforeStats),
@@ -668,10 +829,14 @@ type CombinedResult struct {
 // Options.Deadline bounds the two phases together; Options.MaxEvaluations
 // applies to each phase separately; checkpointing covers the tiling phase.
 func OptimizePaddingThenTiling(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
 	opt.Deadline = 0 // already applied to ctx; phases must not re-arm it
+	opt.emitPhase("padding+tiling", "padding")
 	padOpt := opt
 	padOpt.Checkpoint, padOpt.ResumeFrom = nil, nil
 	padRes, err := OptimizePadding(ctx, nest, padOpt)
@@ -680,6 +845,7 @@ func OptimizePaddingThenTiling(ctx context.Context, nest *ir.Nest, opt Options) 
 	}
 	// Independent GA randomness for phase two, preserving any caller
 	// overrides of the GA parameters.
+	opt.emitPhase("padding+tiling", "tiling")
 	tileOpt := opt
 	tileOpt.Seed ^= 0x5bf03635
 	tileOpt.GA.Seed1 ^= 0x5bf03635
@@ -708,6 +874,9 @@ func OptimizePaddingThenTiling(ctx context.Context, nest *ir.Nest, opt Options) 
 // can beat the sequential composition when the best padding for the
 // untiled order is not the best padding under tiling.
 func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
@@ -715,6 +884,7 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	if err != nil {
 		return nil, err
 	}
+	started := opt.emitStart(nest, "joint")
 	padSpec, decodePlan := paddingSpec(nest, opt.Cache)
 	uppers := make([]int64, nest.Depth())
 	for d := range uppers {
@@ -760,6 +930,7 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	if err != nil {
 		return nil, err
 	}
+	opt.emitPhase("joint", "finalize")
 	fin := context.Background()
 	origStats, err := ev.untiled(fin, nest)
 	if err != nil {
@@ -773,6 +944,7 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	if err != nil {
 		return nil, err
 	}
+	opt.emitStop("joint", res, started)
 	return &CombinedResult{
 		Plan:     plan,
 		Tile:     tile,
@@ -790,6 +962,9 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 // returns the context's error if cancelled mid-enumeration (a truncated
 // exhaustive sweep is not a reference result).
 func ExhaustiveTiling(ctx context.Context, nest *ir.Nest, opt Options, limit uint64) ([]int64, cachesim.Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, cachesim.Stats{}, err
+	}
 	opt = opt.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()

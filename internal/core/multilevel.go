@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/cme"
@@ -49,24 +48,28 @@ type MultiLevelResult struct {
 // with the Stopped reason on cancellation, deadline or budget exhaustion.
 func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
 	if len(levels) == 0 {
-		return nil, fmt.Errorf("core: no cache levels")
+		return nil, badOption("levels", "no cache levels")
 	}
-	for _, l := range levels {
+	for i, l := range levels {
 		if err := l.Cache.Validate(); err != nil {
-			return nil, err
+			return nil, badOption("levels", "level %d: %v", i, err)
 		}
 		if l.MissPenalty <= 0 {
-			return nil, fmt.Errorf("core: non-positive miss penalty %v", l.MissPenalty)
+			return nil, badOption("levels", "level %d: non-positive miss penalty %v", i, l.MissPenalty)
 		}
+	}
+	opt.Cache = levels[0].Cache // evaluator's cfg is unused per-level below
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
-	opt.Cache = levels[0].Cache // evaluator's cfg is unused per-level below
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	started := opt.emitStart(nest, "multilevel")
 	uppers := make([]int64, nest.Depth())
 	for d := range uppers {
 		uppers[d] = ev.box.Extent(d)
@@ -85,7 +88,7 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 			if err != nil {
 				return 0, err
 			}
-			st, err := ev.sample.EvaluateContext(evalCtx, an, ev.workers)
+			st, err := ev.evalFresh(evalCtx, an)
 			if err != nil {
 				return 0, err
 			}
@@ -116,6 +119,7 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 	}
 	out := &MultiLevelResult{Tile: best, TiledNest: tiledNest, GA: res, Stopped: res.Stopped}
 	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
+	opt.emitPhase("multilevel", "finalize")
 	fin := context.Background()
 	for _, l := range levels {
 		anU, err := cme.NewAnalyzer(nest, ev.box, l.Cache)
@@ -126,11 +130,11 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 		if err != nil {
 			return nil, err
 		}
-		before, err := ev.sample.EvaluateContext(fin, anU, ev.workers)
+		before, err := ev.evalFresh(fin, anU)
 		if err != nil {
 			return nil, err
 		}
-		after, err := ev.sample.EvaluateContext(fin, anT, ev.workers)
+		after, err := ev.evalFresh(fin, anT)
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +146,7 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 		out.CostBefore += l.MissPenalty * float64(before.Replacement) / accesses
 		out.CostAfter += l.MissPenalty * float64(after.Replacement) / accesses
 	}
+	opt.emitStop("multilevel", res, started)
 	return out, nil
 }
 
@@ -150,6 +155,9 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 // and its order. Factorial in depth; the paper's kernels are ≤4 deep. It
 // returns the context's error if cancelled mid-enumeration.
 func BestInterchange(ctx context.Context, nest *ir.Nest, opt Options) (float64, []int, error) {
+	if err := opt.Validate(); err != nil {
+		return 0, nil, err
+	}
 	opt = opt.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
@@ -172,7 +180,7 @@ func BestInterchange(ctx context.Context, nest *ir.Nest, opt Options) (float64, 
 			if err != nil {
 				return err
 			}
-			st, err := ev.sample.EvaluateContext(ctx, an, ev.workers)
+			st, err := ev.evalFresh(ctx, an)
 			if err != nil {
 				return err
 			}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
 )
 
 // Config controls an experiment run.
@@ -36,6 +37,9 @@ type Config struct {
 	// Workers bounds the evaluation fan-out per objective
 	// (0 = core.DefaultWorkers). Worker count never changes results.
 	Workers int
+	// Observer receives the telemetry stream of every search the
+	// experiment suite runs (nil = unobserved).
+	Observer telemetry.Recorder
 }
 
 func (c Config) cap() int64 {
@@ -56,6 +60,7 @@ func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 		Deadline:       c.Deadline,
 		MaxEvaluations: c.MaxEvaluations,
 		Workers:        c.Workers,
+		Observer:       c.Observer,
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Objective evaluates one decoded individual and returns the quantity to
@@ -61,9 +63,13 @@ type Config struct {
 	// StopBudget and returns the best individual evaluated so far. The
 	// very first individual is always evaluated so a best-so-far exists.
 	MaxEvaluations int
-	// OnProgress, when non-nil, is invoked after the initial population
-	// and after every completed generation.
-	OnProgress func(Progress)
+	// Observer, when non-nil, receives the typed telemetry stream: one
+	// GenerationDone event after the initial population and after every
+	// completed generation, a CheckpointWritten event per snapshot, and
+	// Evaluations/MemoHits counter deltas flushed at the same boundaries.
+	// A nil Observer costs a single pointer check per generation, keeping
+	// the unobserved search path allocation-free.
+	Observer telemetry.Recorder
 	// Checkpoint, when non-nil, receives a resumable snapshot at the
 	// same points OnProgress fires. A snapshot error aborts the run.
 	Checkpoint func(*Checkpoint) error
@@ -164,9 +170,27 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 
 	memo := map[string]float64{}
 	evals := 0
+	memoHits := 0
 	gen := 0
 	var res Result
 	res.BestValue = math.Inf(1)
+
+	// flush reports the evaluation/memo-hit counter deltas accumulated
+	// since the last flush. Deltas (not totals) compose across resumed
+	// runs and multi-phase searches sharing one recorder.
+	flushedEvals, flushedMemoHits := 0, 0
+	flush := func() {
+		if cfg.Observer == nil {
+			return
+		}
+		dE, dM := evals-flushedEvals, memoHits-flushedMemoHits
+		if dE == 0 && dM == 0 {
+			return
+		}
+		cfg.Observer.Add(telemetry.Counters{Evaluations: uint64(dE), MemoHits: uint64(dM)})
+		flushedEvals, flushedMemoHits = evals, memoHits
+	}
+	defer flush()
 
 	// checkHalt reports whether the run must stop before spending another
 	// objective evaluation, and why.
@@ -194,6 +218,7 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		key := string(ind.bits)
 		if v, ok := memo[key]; ok {
 			ind.value = v
+			memoHits++
 			return true
 		}
 		if !force && !halted {
@@ -248,11 +273,13 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 			st.Converged = (avg-best)/avg < cfg.ConvergeFrac
 		}
 		res.History = append(res.History, st)
-		if cfg.OnProgress != nil {
-			cfg.OnProgress(Progress{
-				Gen: gen, Best: st.Best, Avg: st.Avg, BestEver: res.BestValue,
-				Evaluations: evals, Elapsed: time.Since(start),
+		if cfg.Observer != nil {
+			cfg.Observer.Event(telemetry.GenerationDone{
+				Search: cfg.Label, Gen: gen, Best: st.Best, Avg: st.Avg,
+				BestEver: res.BestValue, Evaluations: evals, MemoHits: memoHits,
+				Elapsed: time.Since(start),
 			})
+			flush()
 		}
 		return st
 	}
@@ -283,7 +310,16 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		for k, v := range memo {
 			cp.Memo = append(cp.Memo, MemoEntry{Bits: []byte(k), Value: v})
 		}
-		return cfg.Checkpoint(cp)
+		if err := cfg.Checkpoint(cp); err != nil {
+			return err
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.Event(telemetry.CheckpointWritten{
+				Search: cfg.Label, Gen: gen,
+				Individuals: len(pop), MemoEntries: len(memo),
+			})
+		}
+		return nil
 	}
 
 	var pop []individual
@@ -299,6 +335,9 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		}
 		gen = cp.Gen
 		evals = cp.Evals
+		// The interrupted run already reported its evaluations; only work
+		// done after the resume point flows to this run's observer.
+		flushedEvals = cp.Evals
 		for _, e := range cp.Memo {
 			memo[string(e.Bits)] = e.Value
 		}

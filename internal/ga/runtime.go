@@ -41,7 +41,10 @@ func (r StopReason) String() string {
 	}
 }
 
-// Progress is the per-generation report delivered to Config.OnProgress.
+// Progress is the per-generation report delivered to the deprecated
+// Options.Progress callback of the facade. It is derived from the
+// GenerationDone telemetry event by a compatibility adapter; new code
+// should observe the typed event stream through Config.Observer instead.
 type Progress struct {
 	// Gen is the generation just recorded (0 = initial population).
 	Gen int

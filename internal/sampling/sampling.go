@@ -18,6 +18,7 @@ import (
 	"repro/internal/cme"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
+	"repro/internal/telemetry"
 	"repro/internal/tiling"
 )
 
@@ -139,6 +140,56 @@ func EstimatePerRef(an *cme.Analyzer, n int, confidence float64, rng *rand.Rand)
 		out[r] = finish(stats[r], n, confidence)
 	}
 	return out
+}
+
+// EstimateMissRatioWorkers is EstimateMissRatio fanned out over workers
+// analyzer clones. All n points are drawn from rng first — consuming the
+// identical random sequence as the serial estimator — and only then
+// classified in parallel chunks, so the returned Estimate is equal to the
+// serial one for the same rng state (the counts are sums over the same
+// points). workers < 2 (or a small n) falls back to the serial path.
+func EstimateMissRatioWorkers(an *cme.Analyzer, n int, confidence float64, rng *rand.Rand, workers int) Estimate {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 || n < 64 {
+		return EstimateMissRatio(an, n, confidence, rng)
+	}
+	sp := an.Space()
+	pts := make([][]int64, n)
+	for i := range pts {
+		p := make([]int64, sp.NumCoords())
+		sp.Sample(rng, p)
+		pts[i] = p
+	}
+	ans := make([]*cme.Analyzer, workers)
+	ans[0] = an
+	for w := 1; w < workers; w++ {
+		ans[w] = an.Clone()
+	}
+	partial := make([]cachesim.Stats, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, p := range pts[lo:hi] {
+				ans[w].ClassifyAll(p, &partial[w])
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var st cachesim.Stats
+	for _, ps := range partial {
+		st.Add(ps)
+	}
+	return finish(st, n, confidence)
 }
 
 // CompareSampleSizes estimates the untiled miss ratio of a nest twice —
@@ -294,6 +345,47 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesi
 	}
 	// Every worker finished its slice: the result is complete and valid
 	// even if ctx expired after the last point was classified.
+	return st, nil
+}
+
+// EvaluateObserved is EvaluateWith plus telemetry: on success it emits one
+// EvaluationBatch event and the matching counter deltas (sampled points,
+// walk steps, classified accesses, cap hits) to obs. The walk accounting
+// is computed as before/after deltas over the supplied analyzers, so it is
+// correct even when the caller Rebinds pooled analyzers (which zeroes
+// their counters) between batches. A nil obs is exactly EvaluateWith —
+// the hot path pays only a nil check. Failed or cancelled evaluations
+// record nothing: their partial counts are discarded by the caller too.
+func (s *Sample) EvaluateObserved(ctx context.Context, ans []*cme.Analyzer, obs telemetry.Recorder) (cachesim.Stats, error) {
+	if obs == nil {
+		return s.EvaluateWith(ctx, ans)
+	}
+	before := make([]cme.WalkCounts, len(ans))
+	for i, an := range ans {
+		before[i] = an.WalkCounts()
+	}
+	st, err := s.EvaluateWith(ctx, ans)
+	if err != nil {
+		return st, err
+	}
+	var wc cme.WalkCounts
+	for i, an := range ans {
+		wc = wc.Plus(an.WalkCounts().Sub(before[i]))
+	}
+	obs.Event(telemetry.EvaluationBatch{
+		Points:      len(s.Points),
+		Accesses:    st.Accesses,
+		Hits:        st.Hits,
+		Compulsory:  st.Compulsory,
+		Replacement: st.Replacement,
+		WalkSteps:   wc.Steps,
+	})
+	obs.Add(telemetry.Counters{
+		SampledPoints:      uint64(len(s.Points)),
+		WalkSteps:          wc.Steps,
+		ClassifiedAccesses: wc.Classified,
+		WalkCapHits:        wc.CapHits,
+	})
 	return st, nil
 }
 

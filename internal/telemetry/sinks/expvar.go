@@ -1,0 +1,87 @@
+package sinks
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// Expvar aggregates counters and event tallies into an expvar.Map, so a
+// long-running process (or a CLI with -metrics) exposes search telemetry
+// through the standard /debug/vars surface. Published variables:
+//
+//	<name>.evaluations          distinct objective evaluations
+//	<name>.memo_hits            GA memo-table recalls
+//	<name>.sampled_points       iteration points classified
+//	<name>.walk_steps           CME backward-walk steps
+//	<name>.classified_accesses  accesses classified by the point solver
+//	<name>.walk_cap_hits        walk-cap trips (0 in normal operation)
+//	<name>.pool_hits            analyzer-pool rebinds (reuse)
+//	<name>.pool_misses          analyzer-pool rebuilds
+//	<name>.events               total events observed
+//	<name>.events.<kind>        per-kind event tallies
+//	<name>.searches             completed searches (search_stop events)
+//	<name>.generations          completed GA generations
+//
+// where <name>.x is a key of the expvar map registered under <name>.
+// Safe for concurrent use (expvar.Map is atomic).
+type Expvar struct {
+	m *expvar.Map
+}
+
+// NewExpvar returns an Expvar sink publishing under name. Registering the
+// same name twice reuses (and resets) the existing map instead of
+// panicking, so tests and restarted components can share a name.
+func NewExpvar(name string) *Expvar {
+	if v := expvar.Get(name); v != nil {
+		if m, ok := v.(*expvar.Map); ok {
+			m.Init()
+			return &Expvar{m: m}
+		}
+	}
+	return &Expvar{m: expvar.NewMap(name)}
+}
+
+// Event implements telemetry.Recorder.
+func (x *Expvar) Event(e telemetry.Event) {
+	x.m.Add("events", 1)
+	x.m.Add("events."+string(e.Kind()), 1)
+	switch e.(type) {
+	case telemetry.GenerationDone:
+		x.m.Add("generations", 1)
+	case telemetry.SearchStop:
+		x.m.Add("searches", 1)
+	}
+}
+
+// Add implements telemetry.Recorder.
+func (x *Expvar) Add(c telemetry.Counters) {
+	add := func(key string, v uint64) {
+		if v != 0 {
+			x.m.Add(key, int64(v))
+		}
+	}
+	add("evaluations", c.Evaluations)
+	add("memo_hits", c.MemoHits)
+	add("sampled_points", c.SampledPoints)
+	add("walk_steps", c.WalkSteps)
+	add("classified_accesses", c.ClassifiedAccesses)
+	add("walk_cap_hits", c.WalkCapHits)
+	add("pool_hits", c.PoolHits)
+	add("pool_misses", c.PoolMisses)
+}
+
+// Map exposes the underlying expvar map (e.g. to compose dashboards).
+func (x *Expvar) Map() *expvar.Map { return x.m }
+
+// String renders the map as JSON with sorted keys — what -metrics dumps
+// at exit.
+func (x *Expvar) String() string { return x.m.String() }
+
+// WriteTo writes the JSON rendering to w.
+func (x *Expvar) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprintln(w, x.m.String())
+	return int64(n), err
+}

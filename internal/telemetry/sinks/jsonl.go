@@ -1,0 +1,189 @@
+// Package sinks provides the concrete telemetry recorders: a JSONL event
+// log, a human-readable TTY progress writer, and an expvar-registered
+// aggregate metrics map. Only the public facade (and the command-line
+// tools through it) may import this package; internal packages depend on
+// the telemetry.Recorder interface alone — `make verify`'s depcheck
+// enforces the direction.
+package sinks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// JSONL writes one JSON object per line: every event as it arrives (keyed
+// by its "ev" kind) and, on Close, a final "counters" line with the
+// accumulated monotonic counters.
+//
+// The encoding is deterministic by default: wall-clock Elapsed fields are
+// omitted unless Timestamps is set, so a fixed-seed search produces a
+// byte-identical stream on every run (the golden-stream tests rely on
+// this). Safe for concurrent use.
+type JSONL struct {
+	// Timestamps includes the elapsed_ms field on generation and
+	// search-stop lines. Off by default: wall-clock time is the one
+	// non-deterministic part of the stream.
+	Timestamps bool
+
+	mu       sync.Mutex
+	w        io.Writer
+	counters telemetry.Counters
+	err      error
+}
+
+// NewJSONL returns a JSONL sink writing to w. The caller owns w; Close
+// flushes the final counters line but does not close w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// jfloat is a float64 that encodes non-finite values (a poisoned +Inf
+// objective) as null instead of failing json.Marshal.
+type jfloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// Event implements telemetry.Recorder.
+func (j *JSONL) Event(e telemetry.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeLine(j.record(e))
+}
+
+// record maps an event onto its wire struct. Field order is fixed by the
+// struct definitions, which is what makes the stream reproducible.
+func (j *JSONL) record(e telemetry.Event) any {
+	switch ev := e.(type) {
+	case telemetry.SearchStart:
+		return struct {
+			Ev      string `json:"ev"`
+			Search  string `json:"search"`
+			Kernel  string `json:"kernel"`
+			Depth   int    `json:"depth"`
+			Cache   string `json:"cache"`
+			Seed    uint64 `json:"seed"`
+			Points  int    `json:"points"`
+			Workers int    `json:"workers"`
+		}{string(ev.Kind()), ev.Search, ev.Kernel, ev.Depth,
+			fmt.Sprintf("%d:%d:%d", ev.CacheSize, ev.CacheLine, ev.CacheAssoc),
+			ev.Seed, ev.SamplePoints, ev.Workers}
+	case telemetry.PhaseChange:
+		return struct {
+			Ev     string `json:"ev"`
+			Search string `json:"search"`
+			Phase  string `json:"phase"`
+		}{string(ev.Kind()), ev.Search, ev.Phase}
+	case telemetry.GenerationDone:
+		rec := struct {
+			Ev        string  `json:"ev"`
+			Search    string  `json:"search"`
+			Gen       int     `json:"gen"`
+			Best      jfloat  `json:"best"`
+			Avg       jfloat  `json:"avg"`
+			BestEver  jfloat  `json:"best_ever"`
+			Evals     int     `json:"evals"`
+			MemoHits  int     `json:"memo_hits"`
+			ElapsedMS *jfloat `json:"elapsed_ms,omitempty"`
+		}{string(ev.Kind()), ev.Search, ev.Gen, jfloat(ev.Best), jfloat(ev.Avg),
+			jfloat(ev.BestEver), ev.Evaluations, ev.MemoHits, nil}
+		if j.Timestamps {
+			ms := jfloat(float64(ev.Elapsed.Microseconds()) / 1e3)
+			rec.ElapsedMS = &ms
+		}
+		return rec
+	case telemetry.EvaluationBatch:
+		return struct {
+			Ev          string `json:"ev"`
+			Points      int    `json:"points"`
+			Accesses    uint64 `json:"accesses"`
+			Hits        uint64 `json:"hits"`
+			Compulsory  uint64 `json:"compulsory"`
+			Replacement uint64 `json:"replacement"`
+			WalkSteps   uint64 `json:"walk_steps"`
+		}{string(ev.Kind()), ev.Points, ev.Accesses, ev.Hits, ev.Compulsory,
+			ev.Replacement, ev.WalkSteps}
+	case telemetry.CheckpointWritten:
+		return struct {
+			Ev          string `json:"ev"`
+			Search      string `json:"search"`
+			Gen         int    `json:"gen"`
+			Individuals int    `json:"individuals"`
+			MemoEntries int    `json:"memo_entries"`
+		}{string(ev.Kind()), ev.Search, ev.Gen, ev.Individuals, ev.MemoEntries}
+	case telemetry.SearchStop:
+		rec := struct {
+			Ev        string  `json:"ev"`
+			Search    string  `json:"search"`
+			Stopped   string  `json:"stopped"`
+			Gens      int     `json:"gens"`
+			Evals     int     `json:"evals"`
+			BestValue jfloat  `json:"best_value"`
+			ElapsedMS *jfloat `json:"elapsed_ms,omitempty"`
+		}{string(ev.Kind()), ev.Search, ev.Stopped, ev.Generations,
+			ev.Evaluations, jfloat(ev.BestValue), nil}
+		if j.Timestamps {
+			ms := jfloat(float64(ev.Elapsed.Microseconds()) / 1e3)
+			rec.ElapsedMS = &ms
+		}
+		return rec
+	default:
+		return struct {
+			Ev string `json:"ev"`
+		}{string(e.Kind())}
+	}
+}
+
+// Add implements telemetry.Recorder; deltas accumulate into the counters
+// line Close writes.
+func (j *JSONL) Add(c telemetry.Counters) {
+	j.mu.Lock()
+	j.counters = j.counters.Plus(c)
+	j.mu.Unlock()
+}
+
+// writeLine marshals rec and appends it as one line; callers hold j.mu.
+// The first write error is retained and reported by Close.
+func (j *JSONL) writeLine(rec any) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Close appends the final counters line and returns the first error the
+// sink encountered. It does not close the underlying writer.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c := j.counters
+	j.writeLine(struct {
+		Ev          string `json:"ev"`
+		Evaluations uint64 `json:"evaluations"`
+		MemoHits    uint64 `json:"memo_hits"`
+		Sampled     uint64 `json:"sampled_points"`
+		WalkSteps   uint64 `json:"walk_steps"`
+		Classified  uint64 `json:"classified_accesses"`
+		CapHits     uint64 `json:"walk_cap_hits"`
+		PoolHits    uint64 `json:"pool_hits"`
+		PoolMisses  uint64 `json:"pool_misses"`
+	}{"counters", c.Evaluations, c.MemoHits, c.SampledPoints, c.WalkSteps,
+		c.ClassifiedAccesses, c.WalkCapHits, c.PoolHits, c.PoolMisses})
+	return j.err
+}

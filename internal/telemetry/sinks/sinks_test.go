@@ -1,0 +1,150 @@
+package sinks
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// replay pushes a representative event sequence through a recorder.
+func replay(r telemetry.Recorder) {
+	r.Event(telemetry.SearchStart{Search: "tiling", Kernel: "MM", Depth: 3,
+		CacheSize: 8192, CacheLine: 32, CacheAssoc: 1, Seed: 7, SamplePoints: 164, Workers: 1})
+	r.Event(telemetry.PhaseChange{Search: "tiling", Phase: "finalize"})
+	r.Event(telemetry.EvaluationBatch{Points: 164, Accesses: 656, Hits: 300,
+		Compulsory: 6, Replacement: 350, WalkSteps: 4200})
+	r.Event(telemetry.GenerationDone{Search: "tiling", Gen: 0, Best: 12, Avg: 40.5,
+		BestEver: 12, Evaluations: 30, MemoHits: 2, Elapsed: 123 * time.Millisecond})
+	r.Event(telemetry.CheckpointWritten{Search: "tiling", Gen: 0, Individuals: 30, MemoEntries: 28})
+	r.Event(telemetry.SearchStop{Search: "tiling", Stopped: "converged",
+		Generations: 17, Evaluations: 310, BestValue: 8, Elapsed: time.Second})
+	r.Add(telemetry.Counters{Evaluations: 310, MemoHits: 200, SampledPoints: 50840,
+		WalkSteps: 99, ClassifiedAccesses: 4, PoolHits: 309, PoolMisses: 1})
+}
+
+// TestJSONLStream: one valid JSON object per line, "ev" discriminators in
+// emission order, no wall-clock fields by default, counters line last.
+func TestJSONLStream(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	replay(j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{"search_start", "phase_change", "evaluation_batch",
+		"generation", "checkpoint", "search_stop", "counters"}
+	if len(lines) != len(want) {
+		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if rec["ev"] != want[i] {
+			t.Fatalf("line %d ev=%v, want %s", i, rec["ev"], want[i])
+		}
+		if _, ok := rec["elapsed_ms"]; ok {
+			t.Fatalf("line %d carries elapsed_ms without Timestamps:\n%s", i, line)
+		}
+	}
+	if !strings.Contains(lines[0], `"cache":"8192:32:1"`) {
+		t.Fatalf("search_start cache spec missing:\n%s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"evaluations":310`) {
+		t.Fatalf("counters line wrong:\n%s", lines[len(lines)-1])
+	}
+}
+
+// TestJSONLTimestamps: opting in adds elapsed_ms to generation and stop
+// lines.
+func TestJSONLTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Timestamps = true
+	j.Event(telemetry.GenerationDone{Gen: 1, Elapsed: 250 * time.Millisecond})
+	if !strings.Contains(buf.String(), `"elapsed_ms":250`) {
+		t.Fatalf("elapsed_ms missing with Timestamps:\n%s", buf.String())
+	}
+}
+
+// TestJSONLNonFinite: a poisoned +Inf objective encodes as null instead of
+// breaking the stream.
+func TestJSONLNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Event(telemetry.GenerationDone{Gen: 0, Best: math.Inf(1), Avg: math.NaN(), BestEver: math.Inf(1)})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"best":null`) {
+		t.Fatalf("+Inf did not encode as null:\n%s", buf.String())
+	}
+}
+
+// TestTTY: the progress writer mentions the essentials and suppresses
+// batch lines unless verbose.
+func TestTTY(t *testing.T) {
+	var buf bytes.Buffer
+	tty := NewTTY(&buf)
+	replay(tty)
+	if err := tty.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[tiling] start MM", "gen  0", "checkpoint @ gen 0",
+		"stop (converged)", "counters: 310 evaluations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TTY output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "eval 164 points") {
+		t.Fatalf("non-verbose TTY printed a batch line:\n%s", out)
+	}
+	buf.Reset()
+	tty = NewTTY(&buf)
+	tty.Verbose = true
+	replay(tty)
+	if !strings.Contains(buf.String(), "eval 164 points") {
+		t.Fatalf("verbose TTY suppressed the batch line:\n%s", buf.String())
+	}
+}
+
+// TestExpvar: counters and event tallies land in the published map, and
+// re-registering a name resets instead of panicking.
+func TestExpvar(t *testing.T) {
+	x := NewExpvar("sinks_test")
+	replay(x)
+	var rec map[string]int64
+	if err := json.Unmarshal([]byte(x.String()), &rec); err != nil {
+		t.Fatalf("expvar map is not JSON: %v\n%s", err, x.String())
+	}
+	for key, want := range map[string]int64{
+		"evaluations":             310,
+		"memo_hits":               200,
+		"sampled_points":          50840,
+		"pool_hits":               309,
+		"pool_misses":             1,
+		"events":                  6,
+		"events.search_start":     1,
+		"events.generation":       1,
+		"events.evaluation_batch": 1,
+		"searches":                1,
+		"generations":             1,
+	} {
+		if rec[key] != want {
+			t.Fatalf("%s = %d, want %d\n%s", key, rec[key], want, x.String())
+		}
+	}
+	// Same name again: fresh map, no panic.
+	x2 := NewExpvar("sinks_test")
+	if got := x2.String(); strings.Contains(got, "evaluations") {
+		t.Fatalf("re-registration did not reset the map:\n%s", got)
+	}
+}

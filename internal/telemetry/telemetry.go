@@ -1,0 +1,291 @@
+// Package telemetry defines the search observation contract: a Recorder
+// receives a typed event stream (search lifecycle, per-generation reports,
+// per-evaluation batches, checkpoints) plus monotonic counters measuring
+// where the work of a search actually goes (objective evaluations, memo
+// hits, sampled points, CME walk steps, analyzer-pool reuse).
+//
+// The package deliberately contains only the interface and the event/
+// counter types. Concrete sinks (JSONL event log, TTY progress writer,
+// expvar metrics) live in the sinks subpackage, which only the public
+// facade may import: internal packages depend on the Recorder interface
+// alone, keeping the dependency direction clean (enforced by
+// `make verify`'s depcheck).
+//
+// Recorders observe; they must never influence a search. Everything
+// emitted is a deterministic function of the search's inputs except the
+// Elapsed fields, which carry wall-clock time for humans (the JSONL sink
+// omits them by default so fixed-seed event streams are byte-identical
+// across runs).
+//
+// A nil Recorder means no telemetry; every emission site is guarded so the
+// nil path does no work and allocates nothing.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind identifies an event type; it is the "ev" discriminator of the JSONL
+// encoding.
+type Kind string
+
+// The event kinds a search emits.
+const (
+	KindSearchStart       Kind = "search_start"
+	KindPhaseChange       Kind = "phase_change"
+	KindGenerationDone    Kind = "generation"
+	KindEvaluationBatch   Kind = "evaluation_batch"
+	KindCheckpointWritten Kind = "checkpoint"
+	KindSearchStop        Kind = "search_stop"
+)
+
+// Event is one typed occurrence in a search's life. The concrete types are
+// the exhaustive set of structs below; sinks switch on them.
+type Event interface {
+	// Kind returns the event's wire discriminator.
+	Kind() Kind
+}
+
+// SearchStart opens a search's event stream: what is being searched, over
+// which kernel, against which cache, with which determinism-relevant
+// parameters.
+type SearchStart struct {
+	// Search is the search label ("tiling", "padding", "tiling-order",
+	// "multilevel", "joint").
+	Search string
+	// Kernel and Depth identify the loop nest.
+	Kernel string
+	Depth  int
+	// CacheSize/CacheLine/CacheAssoc are the target cache geometry in the
+	// size:line:assoc form the CLIs accept.
+	CacheSize  int64
+	CacheLine  int64
+	CacheAssoc int
+	// Seed, SamplePoints and Workers are the resolved search parameters.
+	Seed         uint64
+	SamplePoints int
+	Workers      int
+}
+
+// Kind implements Event.
+func (SearchStart) Kind() Kind { return KindSearchStart }
+
+// PhaseChange marks a transition inside a search: the phases of a
+// composite search (padding then tiling) and the finalisation tail that
+// re-evaluates the winning candidate.
+type PhaseChange struct {
+	Search string
+	Phase  string
+}
+
+// Kind implements Event.
+func (PhaseChange) Kind() Kind { return KindPhaseChange }
+
+// GenerationDone reports one completed GA generation (generation 0 is the
+// initial population). It carries exactly the information the legacy
+// per-generation Progress callback received; that callback is now an
+// adapter over this event.
+type GenerationDone struct {
+	// Search is the GA phase label.
+	Search string
+	// Gen is the generation just recorded.
+	Gen int
+	// Best and Avg are the generation's best (lowest) and average
+	// objective values; BestEver is the best across the whole run.
+	Best, Avg, BestEver float64
+	// Evaluations and MemoHits count distinct objective evaluations and
+	// memo-table recalls so far in the run.
+	Evaluations int
+	MemoHits    int
+	// Elapsed is wall-clock time since the run started. It is the one
+	// non-deterministic field; deterministic sinks omit it.
+	Elapsed time.Duration
+}
+
+// Kind implements Event.
+func (GenerationDone) Kind() Kind { return KindGenerationDone }
+
+// EvaluationBatch reports one objective evaluation: the fixed sample
+// classified against one candidate's iteration space, with the aggregate
+// outcome counts and the interference-walk cost it took to compute them.
+type EvaluationBatch struct {
+	// Points is the number of sampled iteration points classified.
+	Points int
+	// Accesses/Hits/Compulsory/Replacement are the aggregate outcome
+	// counts over the batch.
+	Accesses    uint64
+	Hits        uint64
+	Compulsory  uint64
+	Replacement uint64
+	// WalkSteps is the number of backward interference-walk steps the
+	// batch cost, summed across evaluation workers (worker-count
+	// invariant: the sum covers the same points regardless of the split).
+	WalkSteps uint64
+}
+
+// Kind implements Event.
+func (EvaluationBatch) Kind() Kind { return KindEvaluationBatch }
+
+// CheckpointWritten reports a successfully persisted generation-boundary
+// snapshot.
+type CheckpointWritten struct {
+	Search string
+	// Gen is the last completed generation the snapshot captures.
+	Gen int
+	// Individuals and MemoEntries size the snapshot.
+	Individuals int
+	MemoEntries int
+}
+
+// Kind implements Event.
+func (CheckpointWritten) Kind() Kind { return KindCheckpointWritten }
+
+// SearchStop closes a search's event stream with its outcome.
+type SearchStop struct {
+	Search string
+	// Stopped is the ga.StopReason string ("converged", "deadline",
+	// "budget", "cancelled").
+	Stopped string
+	// Generations and Evaluations are the run totals.
+	Generations int
+	Evaluations int
+	// BestValue is the best objective value found (+Inf when every
+	// candidate evaluation was cut short).
+	BestValue float64
+	// Elapsed is wall-clock search time; deterministic sinks omit it.
+	Elapsed time.Duration
+}
+
+// Kind implements Event.
+func (SearchStop) Kind() Kind { return KindSearchStop }
+
+// Counters are the monotonic work counters of a search, delivered to
+// Recorder.Add as deltas; a sink owns the accumulation. All fields are
+// invariant under the evaluation worker count: parallel workers split the
+// same points, so the sums match a serial run exactly.
+type Counters struct {
+	// Evaluations counts distinct objective evaluations (GA memo misses).
+	Evaluations uint64
+	// MemoHits counts objective values recalled from the GA memo table.
+	MemoHits uint64
+	// SampledPoints counts iteration points classified by objective
+	// evaluations (evaluations × sample size).
+	SampledPoints uint64
+	// WalkSteps and ClassifiedAccesses are the CME point solver's
+	// cumulative backward-walk steps and classified accesses
+	// (cme.WalkStats); their ratio is the empirical per-access solver
+	// cost.
+	WalkSteps          uint64
+	ClassifiedAccesses uint64
+	// WalkCapHits counts classifications that tripped the walk cap
+	// (0 in all normal operation).
+	WalkCapHits uint64
+	// PoolHits/PoolMisses count evaluator analyzer-pool reuses (Rebind)
+	// versus rebuilds (NewAnalyzer + clones).
+	PoolHits   uint64
+	PoolMisses uint64
+}
+
+// Plus returns the fieldwise sum c + d.
+func (c Counters) Plus(d Counters) Counters {
+	return Counters{
+		Evaluations:        c.Evaluations + d.Evaluations,
+		MemoHits:           c.MemoHits + d.MemoHits,
+		SampledPoints:      c.SampledPoints + d.SampledPoints,
+		WalkSteps:          c.WalkSteps + d.WalkSteps,
+		ClassifiedAccesses: c.ClassifiedAccesses + d.ClassifiedAccesses,
+		WalkCapHits:        c.WalkCapHits + d.WalkCapHits,
+		PoolHits:           c.PoolHits + d.PoolHits,
+		PoolMisses:         c.PoolMisses + d.PoolMisses,
+	}
+}
+
+// IsZero reports whether every counter is zero.
+func (c Counters) IsZero() bool { return c == Counters{} }
+
+// Recorder receives a search's telemetry. Implementations must be safe
+// for concurrent use (events and counters may arrive from parallel
+// searches sharing one sink) and must not block: a slow recorder slows
+// the search it observes.
+//
+// A nil Recorder disables telemetry; emission sites are nil-guarded, so
+// the nil path costs nothing.
+type Recorder interface {
+	// Event delivers one typed event, in emission order per search.
+	Event(e Event)
+	// Add accumulates monotonic counter deltas.
+	Add(c Counters)
+}
+
+// multi fans out to several recorders in order.
+type multi []Recorder
+
+func (m multi) Event(e Event) {
+	for _, r := range m {
+		r.Event(e)
+	}
+}
+
+func (m multi) Add(c Counters) {
+	for _, r := range m {
+		r.Add(c)
+	}
+}
+
+// Multi combines recorders into one that forwards every event and counter
+// delta to each, in argument order. Nil entries are skipped; with zero or
+// one live recorder it returns nil or that recorder directly, so the
+// nil-observer fast path is preserved.
+func Multi(rs ...Recorder) Recorder {
+	var live multi
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Capture is an in-memory Recorder for tests and programmatic inspection:
+// it retains every event in order and sums the counter deltas. Safe for
+// concurrent use.
+type Capture struct {
+	mu       sync.Mutex
+	events   []Event
+	counters Counters
+}
+
+// Event implements Recorder.
+func (c *Capture) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Add implements Recorder.
+func (c *Capture) Add(d Counters) {
+	c.mu.Lock()
+	c.counters = c.counters.Plus(d)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the captured event sequence.
+func (c *Capture) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Counters returns the accumulated counter totals.
+func (c *Capture) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}

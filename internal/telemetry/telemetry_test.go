@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMultiNilHandling: Multi collapses nil recorders so the nil-observer
+// fast path survives composition.
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) != nil")
+	}
+	c := &Capture{}
+	if got := Multi(nil, c, nil); got != Recorder(c) {
+		t.Fatalf("Multi with one live recorder returned %T, want the recorder itself", got)
+	}
+}
+
+// TestMultiFanOut: every live recorder sees every event and delta, in
+// order.
+func TestMultiFanOut(t *testing.T) {
+	a, b := &Capture{}, &Capture{}
+	m := Multi(a, nil, b)
+	m.Event(SearchStart{Search: "tiling", Kernel: "MM"})
+	m.Event(SearchStop{Search: "tiling", Stopped: "converged"})
+	m.Add(Counters{Evaluations: 3})
+	m.Add(Counters{Evaluations: 2, MemoHits: 7})
+	for _, c := range []*Capture{a, b} {
+		evs := c.Events()
+		if len(evs) != 2 || evs[0].Kind() != KindSearchStart || evs[1].Kind() != KindSearchStop {
+			t.Fatalf("captured events %v", evs)
+		}
+		if got := c.Counters(); got.Evaluations != 5 || got.MemoHits != 7 {
+			t.Fatalf("counters %+v", got)
+		}
+	}
+}
+
+// TestCountersPlusIsZero: fieldwise sum and the zero test cover every
+// field (guards against a new counter being forgotten in Plus).
+func TestCountersPlusIsZero(t *testing.T) {
+	one := Counters{1, 1, 1, 1, 1, 1, 1, 1}
+	if one.IsZero() || !(Counters{}).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	if got := one.Plus(one); got != (Counters{2, 2, 2, 2, 2, 2, 2, 2}) {
+		t.Fatalf("Plus = %+v", got)
+	}
+}
+
+// TestCaptureConcurrent: Capture is race-safe (run under -race).
+func TestCaptureConcurrent(t *testing.T) {
+	c := &Capture{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Event(GenerationDone{Gen: i})
+				c.Add(Counters{Evaluations: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counters().Evaluations; got != 800 {
+		t.Fatalf("evaluations %d, want 800", got)
+	}
+	if got := len(c.Events()); got != 800 {
+		t.Fatalf("events %d, want 800", got)
+	}
+}

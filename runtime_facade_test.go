@@ -54,7 +54,7 @@ func TestFacadeCheckpointRoundTrip(t *testing.T) {
 	}
 	base := cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, SamplePoints: 64}
 
-	full, err := cmetiling.OptimizeTiling(nest, base)
+	full, err := cmetiling.OptimizeTiling(context.Background(), nest, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestFacadeCheckpointRoundTrip(t *testing.T) {
 	}
 	opt = base
 	opt.ResumeFrom = ckpt
-	resumed, err := cmetiling.OptimizeTiling(nest, opt)
+	resumed, err := cmetiling.OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
