@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz bench-json depcheck
+.PHONY: verify build test vet race fuzz bench-json depcheck chaos
 
-verify: vet build depcheck race
+verify: vet build depcheck race chaos
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-tolerance suite: full searches under scripted fault plans
+# (evaluation panics/stalls, checkpoint-write failures, sink I/O errors)
+# plus checkpoint corruption and recovery, run normally and under the
+# race detector. `race` already covers these tests as part of ./...;
+# running them by name keeps the chaos bar explicit and fast to iterate.
+chaos:
+	$(GO) test -run 'Chaos|Fault|Corrupt|Quarantine|Watchdog|Watched|Retr|AtExit|Checkpoint|Inject|Stall' . ./internal/core ./internal/cliutil ./internal/sampling ./internal/ga ./internal/telemetry/sinks
+	$(GO) test ./internal/faultinject ./internal/retry
+	$(GO) test -race -run 'Chaos|Corrupt' .
 
 # Point-solver and evaluation microbenchmarks, recorded as a JSON
 # trajectory file so perf changes are tracked PR over PR.

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 
 	cmetiling "repro"
@@ -52,6 +53,9 @@ func main() {
 		traceOut = flag.String("trace-out", "", "append the telemetry event stream of every search to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
+		policyF  = flag.String("failure-policy", "", "on a broken evaluation: abort (default) or quarantine (finish the table degraded)")
+		stall    = flag.Duration("stall-timeout", 0, "give up on an evaluation batch after this long (0 = no watchdog)")
+		faultF   = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;eval.panic:after=3,times=1' (chaos testing)")
 	)
 	flag.Parse()
 	if *all {
@@ -65,6 +69,19 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget, Workers: *workers,
+		StallTimeout: *stall,
+	}
+	var err error
+	cfg.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)
+	if err != nil {
+		fatal(err)
+	}
+	var faults *cmetiling.FaultPlan
+	if *faultF != "" {
+		faults, err = cmetiling.ParseFaultSpec(*faultF)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	var recorders []cmetiling.Recorder
 	if *traceOut != "" {
@@ -72,7 +89,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sink := cmetiling.NewJSONLSink(f)
+		sink := cmetiling.NewJSONLSink(cmetiling.FaultWriter(f, faults, cmetiling.FaultSinkWrite))
 		cliutil.AtExit(func() {
 			if err := sink.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
@@ -86,6 +103,11 @@ func main() {
 		cliutil.AtExit(func() { sink.WriteTo(os.Stderr) })
 		recorders = append(recorders, sink)
 	}
+	// The row types the tables are built from do not carry per-search
+	// quarantine lists; the telemetry stream does. Tally quarantine events
+	// so a table assembled around set-aside candidates exits degraded.
+	quarantined := &quarantineTally{}
+	recorders = append(recorders, quarantined)
 	cfg.Observer = cmetiling.MultiRecorder(recorders...)
 	if *pprofOut != "" {
 		if err := cliutil.StartCPUProfile(*pprofOut); err != nil {
@@ -98,9 +120,11 @@ func main() {
 	// kills the process the usual way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if faults != nil {
+		ctx = cmetiling.WithFaults(ctx, faults)
+	}
 
 	var fig8Rows, fig9Rows []experiments.FigureRow
-	var err error
 
 	if *table2 {
 		rows, err := experiments.Table2(ctx, cfg)
@@ -210,9 +234,39 @@ func main() {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted; results above are best-so-far")
-		cliutil.Exit(130)
+		cliutil.Exit(cliutil.ExitInterrupted)
 	}
-	cliutil.Exit(0)
+	if n := quarantined.count(); n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: completed degraded: %d evaluation(s) quarantined\n", n)
+		cliutil.Exit(cliutil.ExitDegraded)
+	}
+	cliutil.Exit(cliutil.ExitOK)
+}
+
+// quarantineTally counts EvaluationQuarantinedEvents across every search
+// of the run, reporting each on stderr as it happens.
+type quarantineTally struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *quarantineTally) Event(e cmetiling.Event) {
+	q, ok := e.(cmetiling.EvaluationQuarantinedEvent)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "experiments: quarantined [%s] %v: %s\n", q.Search, q.Values, q.Reason)
+}
+
+func (t *quarantineTally) Add(cmetiling.Counters) {}
+
+func (t *quarantineTally) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
 }
 
 func writeCSV(dir, name string, rows []experiments.FigureRow) {

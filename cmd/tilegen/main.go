@@ -49,6 +49,9 @@ func main() {
 		traceOut = flag.String("trace-out", "", "append the search's telemetry event stream to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
+		policyF  = flag.String("failure-policy", "", "on a broken evaluation: abort (default) or quarantine (complete degraded on best-so-far)")
+		stall    = flag.Duration("stall-timeout", 0, "give up on an evaluation batch after this long (0 = no watchdog)")
+		faultF   = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;eval.panic:after=3,times=1' (chaos testing)")
 	)
 	flag.Parse()
 
@@ -91,8 +94,24 @@ func main() {
 	opt := cmetiling.Options{
 		Cache: cfg, Seed: *seed, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget,
-		Workers: *workers,
+		Workers: *workers, StallTimeout: *stall,
 	}
+	opt.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)
+	if err != nil {
+		fatal(err)
+	}
+	var faults *cmetiling.FaultPlan
+	if *faultF != "" {
+		faults, err = cmetiling.ParseFaultSpec(*faultF)
+		if err != nil {
+			fatal(err)
+		}
+		cmetiling.InstallCheckpointFaults(faults)
+	}
+	// degraded notes why the run finished on a weakened path (quarantined
+	// evaluations, lost checkpoint writes, a fallback resume); any entry
+	// turns exit 0 into ExitDegraded.
+	var degraded []string
 	if *progress {
 		opt.Progress = func(p cmetiling.Progress) {
 			fmt.Fprintf(os.Stderr, "gen %2d  best %.6g  evals %d  %v\n",
@@ -105,7 +124,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sink := cmetiling.NewJSONLSink(f)
+		sink := cmetiling.NewJSONLSink(cmetiling.FaultWriter(f, faults, cmetiling.FaultSinkWrite))
 		cliutil.AtExit(func() {
 			if err := sink.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "tilegen: trace: %v\n", err)
@@ -126,14 +145,31 @@ func main() {
 		}
 	}
 	if *ckptPath != "" {
+		// A lost snapshot weakens resumability but should not kill a
+		// search that is otherwise making progress: warn, mark the run
+		// degraded, and keep going.
+		warned := false
 		opt.Checkpoint = func(c *cmetiling.Checkpoint) error {
-			return cliutil.SaveCheckpoint(*ckptPath, c)
+			err := cliutil.SaveCheckpoint(*ckptPath, c)
+			if err != nil && !warned {
+				warned = true
+				degraded = append(degraded, fmt.Sprintf("checkpoint writes failing (%v)", err))
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tilegen: checkpoint: %v (continuing without snapshot)\n", err)
+			}
+			return nil
 		}
 	}
 	if *resume != "" {
-		c, err := cliutil.LoadCheckpoint(*resume)
+		c, recovered, err := cliutil.LoadCheckpoint(*resume, opt.Observer)
 		if err != nil {
 			fatal(fmt.Errorf("resume: %w", err))
+		}
+		if recovered {
+			fmt.Fprintf(os.Stderr, "tilegen: resume: primary checkpoint unusable, resumed from %s\n",
+				cliutil.PrevCheckpoint(*resume))
+			degraded = append(degraded, "resumed from rotated previous-good checkpoint")
 		}
 		opt.ResumeFrom = c
 	}
@@ -142,18 +178,22 @@ func main() {
 	// best-so-far tile; a second Ctrl-C kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if faults != nil {
+		ctx = cmetiling.WithFaults(ctx, faults)
+	}
 
 	fmt.Printf("kernel %s  cache %v  seed %d\n", nest.Name, cfg, *seed)
 	fmt.Print(nest.String())
 
 	var stopped cmetiling.StopReason
+	var quarantined []cmetiling.QuarantinedEval
 	switch *mode {
 	case "tile":
 		res, err := cmetiling.OptimizeTiling(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
-		stopped = res.Stopped
+		stopped, quarantined = res.Stopped, res.Quarantined
 		fmt.Printf("\nbest tile: %v (GA: %d generations, %d evaluations)\n",
 			res.Tile, res.GA.Generations, res.GA.Evaluations)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
@@ -164,7 +204,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		stopped = res.Stopped
+		stopped, quarantined = res.Stopped, res.Quarantined
 		fmt.Printf("\nbest tile: %v  tile-loop order: %v (GA: %d generations, %d evaluations)\n",
 			res.Tile, res.Order, res.GA.Generations, res.GA.Evaluations)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
@@ -175,7 +215,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		stopped = res.Stopped
+		stopped, quarantined = res.Stopped, res.Quarantined
 		fmt.Printf("\nbest padding: inter %v intra %v (elements)\n", res.Plan.Inter, res.Plan.Intra)
 		fmt.Printf("before: %v\nafter:  %v\n", res.Before, res.After)
 	case "padtile":
@@ -183,14 +223,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		stopped = res.Stopped
+		stopped, quarantined = res.Stopped, res.Quarantined
 		printCombined(res)
 	case "joint":
 		res, err := cmetiling.OptimizeJoint(ctx, nest, opt)
 		if err != nil {
 			fatal(err)
 		}
-		stopped = res.Stopped
+		stopped, quarantined = res.Stopped, res.Quarantined
 		printCombined(res)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
@@ -199,7 +239,17 @@ func main() {
 	if stopped != cmetiling.StopConverged {
 		fmt.Printf("\nsearch stopped early (%v); result above is best-so-far\n", stopped)
 	}
-	cliutil.Exit(0)
+	if len(quarantined) > 0 {
+		degraded = append(degraded, fmt.Sprintf("%d evaluation(s) quarantined", len(quarantined)))
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "tilegen: quarantined [%s] %v: %s\n", q.Phase, q.Values, q.Reason)
+		}
+	}
+	if len(degraded) > 0 {
+		fmt.Fprintf(os.Stderr, "tilegen: completed degraded: %s\n", strings.Join(degraded, "; "))
+		cliutil.Exit(cliutil.ExitDegraded)
+	}
+	cliutil.Exit(cliutil.ExitOK)
 }
 
 func printCombined(res *cmetiling.CombinedResult) {

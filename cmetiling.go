@@ -63,9 +63,11 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cachesim"
+	"repro/internal/cliutil"
 	"repro/internal/cme"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/ga"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
@@ -203,6 +205,12 @@ type (
 	EvaluationBatchEvent = telemetry.EvaluationBatch
 	// CheckpointWrittenEvent reports a persisted search snapshot.
 	CheckpointWrittenEvent = telemetry.CheckpointWritten
+	// EvaluationQuarantinedEvent reports a candidate set aside under
+	// FailQuarantine; a run that emits it completed degraded.
+	EvaluationQuarantinedEvent = telemetry.EvaluationQuarantined
+	// CheckpointRecoveredEvent reports a resume that fell back to the
+	// rotated previous-good snapshot.
+	CheckpointRecoveredEvent = telemetry.CheckpointRecovered
 	// SearchStopEvent closes a search's event stream with its outcome.
 	SearchStopEvent = telemetry.SearchStop
 
@@ -234,6 +242,94 @@ var (
 var (
 	WriteCheckpoint = ga.WriteCheckpoint
 	ReadCheckpoint  = ga.ReadCheckpoint
+)
+
+// Fault tolerance: how a search behaves when an evaluation breaks, an
+// evaluation hangs, or checkpoint/log I/O fails — and the deterministic
+// fault-injection harness the chaos suite drives those paths with.
+type (
+	// FailurePolicy selects what a search does when one objective
+	// evaluation fails (FailAbort, the zero value, preserves the
+	// historical fail-the-search contract; FailQuarantine sets the
+	// candidate aside and completes degraded).
+	FailurePolicy = core.FailurePolicy
+	// QuarantinedEval records one candidate set aside under
+	// FailQuarantine, with the phase it failed in and why.
+	QuarantinedEval = core.QuarantinedEval
+
+	// FaultPlan is a deterministic, seeded schedule of injected faults;
+	// thread it into a search with WithFaults and into checkpoint
+	// persistence with InstallCheckpointFaults.
+	FaultPlan = faultinject.Plan
+	// FaultRule arms one fault point with its trigger (After/Times/Prob)
+	// and action (error, panic, or stall).
+	FaultRule = faultinject.Rule
+	// Fault is the error an armed fault point returns; detect it with
+	// IsFault (or errors.As).
+	Fault = faultinject.Fault
+)
+
+// The two failure policies.
+const (
+	FailAbort      = core.FailAbort
+	FailQuarantine = core.FailQuarantine
+)
+
+// The fault points the pipeline exposes (the spec keys ParseFaultSpec
+// accepts).
+const (
+	FaultEvalPanic       = faultinject.EvalPanic
+	FaultEvalStall       = faultinject.EvalStall
+	FaultCheckpointWrite = faultinject.CheckpointWrite
+	FaultSinkWrite       = faultinject.SinkWrite
+)
+
+// ErrStalled marks an evaluation the Options.StallTimeout watchdog gave
+// up on; under FailQuarantine the stalled candidate is quarantined and
+// the search continues.
+var ErrStalled = core.ErrStalled
+
+// Fault-tolerance helpers.
+var (
+	// ParseFailurePolicy parses "abort" or "quarantine" ("" means abort)
+	// — the -failure-policy CLI flag format.
+	ParseFailurePolicy = core.ParseFailurePolicy
+	// NewFaultPlan builds a fault plan from explicit rules.
+	NewFaultPlan = faultinject.New
+	// ParseFaultSpec parses the compact CLI spec, e.g.
+	// "seed=1;eval.panic:after=3,times=1;sink.write:prob=0.01".
+	ParseFaultSpec = faultinject.Parse
+	// WithFaults threads a fault plan into the context a search runs
+	// under; searches with no plan in context never see a fault.
+	WithFaults = faultinject.With
+	// FaultsFrom retrieves the plan WithFaults stored (nil when absent).
+	FaultsFrom = faultinject.From
+	// IsFault reports whether err (or anything it wraps) is an injected
+	// fault rather than an organic failure.
+	IsFault = faultinject.Is
+	// FaultWriter wraps an io.Writer so the plan's sink.write point can
+	// fail its writes; used to exercise telemetry-log I/O failures.
+	FaultWriter = faultinject.Writer
+)
+
+// Durable checkpoint files: atomic write with fsync and previous-good
+// rotation, and the matching fallback-aware loader.
+var (
+	// SaveCheckpointFile durably persists a checkpoint: temp file +
+	// fsync + rotate the old snapshot to PrevCheckpointFile(path) +
+	// rename, with transient-failure retries.
+	SaveCheckpointFile = cliutil.SaveCheckpoint
+	// LoadCheckpointFile reads path, falling back to the rotated
+	// previous-good copy when the primary is missing or corrupt; the
+	// fallback is reported on obs as a CheckpointRecoveredEvent and via
+	// the recovered return.
+	LoadCheckpointFile = cliutil.LoadCheckpoint
+	// PrevCheckpointFile names the rotated previous-good snapshot for a
+	// checkpoint path.
+	PrevCheckpointFile = cliutil.PrevCheckpoint
+	// InstallCheckpointFaults arms SaveCheckpointFile with a fault plan
+	// (nil disarms); the chaos suite uses it to break checkpoint writes.
+	InstallCheckpointFaults = cliutil.InstallFaults
 )
 
 // OptimizeTiling searches tile sizes with the CME+GA method of §3. The

@@ -5,15 +5,34 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/ga"
+	"repro/internal/retry"
+	"repro/internal/telemetry"
+)
+
+// Process exit codes shared by the command line tools. Degraded means the
+// run completed and produced a usable result, but only by tolerating
+// faults (quarantined evaluations, a checkpoint save that fell back, or a
+// resume from the rotated previous-good snapshot); scripts that need
+// strictly clean runs can distinguish it from full success.
+const (
+	ExitOK          = 0
+	ExitErr         = 1
+	ExitUsage       = 2
+	ExitDegraded    = 3
+	ExitInterrupted = 130
 )
 
 // ParseCache parses "8k", "32k" (the paper's two configurations) or a
@@ -64,18 +83,39 @@ var osExit = os.Exit
 // atExit holds the cleanups Exit runs before terminating. Exit calls
 // os.Exit, so ordinary defers never fire in the tools; anything that must
 // flush on the way out (telemetry sinks, CPU profiles) registers here.
-var atExit []func()
+// The registry is mutex-guarded: Fatal can race with itself (a signal
+// handler and a failing main loop exiting together), and each cleanup
+// must still run at most once.
+var (
+	atExitMu sync.Mutex
+	atExit   []func()
+)
 
 // AtExit registers fn to run when Exit (or Fatal) terminates the process.
-// Functions run in reverse registration order, each at most once.
-func AtExit(fn func()) { atExit = append(atExit, fn) }
+// Functions run in reverse registration order, each at most once, even
+// when Exit is reached concurrently from several goroutines.
+func AtExit(fn func()) {
+	atExitMu.Lock()
+	atExit = append(atExit, fn)
+	atExitMu.Unlock()
+}
 
-// runAtExit runs and clears the registered cleanups, LIFO.
+// runAtExit drains the registered cleanups, LIFO. Each function is popped
+// under the lock before it runs, so two racing Exit calls split the list
+// between them rather than both running every cleanup.
 func runAtExit() {
-	for i := len(atExit) - 1; i >= 0; i-- {
-		atExit[i]()
+	for {
+		atExitMu.Lock()
+		n := len(atExit)
+		if n == 0 {
+			atExitMu.Unlock()
+			return
+		}
+		fn := atExit[n-1]
+		atExit = atExit[:n-1]
+		atExitMu.Unlock()
+		fn()
 	}
-	atExit = nil
 }
 
 // Exit is the single exit path for the command line tools: it runs the
@@ -108,17 +148,73 @@ func StartCPUProfile(path string) error {
 	return nil
 }
 
-// Fatal reports err on stderr prefixed with the tool name and exits 1
-// through Exit.
+// Fatal reports err on stderr prefixed with the tool name and exits
+// ExitErr through Exit. Safe to call concurrently (e.g. from a signal
+// handler racing a failing main loop): the AtExit cleanups still run at
+// most once between the racing calls.
 func Fatal(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
-	Exit(1)
+	Exit(ExitErr)
 }
 
-// SaveCheckpoint atomically writes a search snapshot to path: it writes a
-// temporary file in the same directory and renames it into place, so an
-// interrupt mid-write can never leave a truncated checkpoint behind.
+// faults is the fault-injection plan the checkpoint persistence paths
+// consult; nil (the default) disables injection. The CLIs install the
+// plan parsed from -fault-spec so chaos runs exercise the same code the
+// production path runs.
+var (
+	faultsMu sync.Mutex
+	faults   *faultinject.Plan
+)
+
+// InstallFaults arms (or, with nil, disarms) fault injection for this
+// package's checkpoint persistence.
+func InstallFaults(p *faultinject.Plan) {
+	faultsMu.Lock()
+	faults = p
+	faultsMu.Unlock()
+}
+
+// installedFaults returns the current plan (possibly nil).
+func installedFaults() *faultinject.Plan {
+	faultsMu.Lock()
+	defer faultsMu.Unlock()
+	return faults
+}
+
+// checkpointRetry bounds the retries SaveCheckpoint spends absorbing
+// transient write failures; tests swap in a fake clock.
+var checkpointRetry = retry.Policy{}
+
+// PrevCheckpoint returns the rotated previous-good path for a checkpoint
+// file ("<path>.prev").
+func PrevCheckpoint(path string) string { return path + ".prev" }
+
+// SaveCheckpoint durably writes a search snapshot to path:
+//
+//  1. the snapshot is written to a temporary file in the same directory
+//     and fsynced, so the bytes are on stable storage before any rename;
+//  2. the existing checkpoint (if any) is rotated to "<path>.prev",
+//     keeping one previous-good generation recoverable;
+//  3. the temporary file is renamed over path and the directory entry is
+//     synced (best-effort — not every filesystem supports it).
+//
+// A crash at any point leaves either the old snapshot at path or a
+// complete new one, never a truncated file; at worst path is briefly
+// missing while "<path>.prev" holds the previous generation, which
+// LoadCheckpoint falls back to. Transient failures are retried with
+// capped exponential backoff before the error is reported.
 func SaveCheckpoint(path string, c *ga.Checkpoint) error {
+	plan := installedFaults()
+	return checkpointRetry.Do(context.Background(), func() error {
+		if err := plan.Fire(context.Background(), faultinject.CheckpointWrite); err != nil {
+			return err
+		}
+		return saveCheckpointOnce(path, c)
+	})
+}
+
+// saveCheckpointOnce is one durable write attempt.
+func saveCheckpointOnce(path string, c *ga.Checkpoint) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -129,14 +225,51 @@ func SaveCheckpoint(path string, c *ga.Checkpoint) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	// Rotate only after the replacement is safely on disk, so a failed
+	// write never disturbs the current snapshot.
+	if err := os.Rename(path, PrevCheckpoint(path)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
-// LoadCheckpoint reads a snapshot previously written by SaveCheckpoint.
-func LoadCheckpoint(path string) (*ga.Checkpoint, error) {
+// LoadCheckpoint reads a snapshot previously written by SaveCheckpoint,
+// falling back to the rotated previous-good copy ("<path>.prev") when the
+// primary is missing, truncated or fails its integrity sum. recovered
+// reports that the fallback was used — the caller resumed one generation
+// behind — and the event is also recorded on obs (which may be nil).
+func LoadCheckpoint(path string, obs telemetry.Recorder) (c *ga.Checkpoint, recovered bool, err error) {
+	c, err = loadCheckpointFile(path)
+	if err == nil {
+		return c, false, nil
+	}
+	prev, perr := loadCheckpointFile(PrevCheckpoint(path))
+	if perr != nil {
+		// Neither copy is usable; the primary's error is the one to report.
+		return nil, false, err
+	}
+	if obs != nil {
+		obs.Event(telemetry.CheckpointRecovered{Path: path, Cause: err.Error()})
+	}
+	return prev, true, nil
+}
+
+// loadCheckpointFile reads and verifies one snapshot file.
+func loadCheckpointFile(path string) (*ga.Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -91,6 +91,17 @@ type Options struct {
 	// stream — it is translated into an Observer that forwards
 	// GenerationDone events. New code should set Observer directly.
 	Progress func(ga.Progress)
+	// FailurePolicy selects how a failed candidate evaluation (panic,
+	// injected fault, watchdog-stalled) is treated: FailAbort (the zero
+	// value, the historical behaviour) fails the search on the first
+	// failure; FailQuarantine assigns the candidate worst fitness, records
+	// it on the result's Quarantined list, and keeps searching.
+	FailurePolicy FailurePolicy
+	// StallTimeout arms a per-evaluation watchdog (0 = none): an objective
+	// evaluation that has not finished within this duration is cancelled
+	// with ErrStalled and treated according to FailurePolicy, so one stuck
+	// evaluation degrades the search to best-so-far instead of hanging it.
+	StallTimeout time.Duration
 	// Checkpoint, when non-nil, receives a resumable snapshot after every
 	// completed GA generation. For the sequential padding+tiling search
 	// only the tiling phase is checkpointed.
@@ -134,6 +145,12 @@ func (o Options) Validate() error {
 	}
 	if o.MaxEvaluations < 0 {
 		return badOption("MaxEvaluations", "%d is negative", o.MaxEvaluations)
+	}
+	if o.FailurePolicy != FailAbort && o.FailurePolicy != FailQuarantine {
+		return badOption("FailurePolicy", "unknown policy %d", int(o.FailurePolicy))
+	}
+	if o.StallTimeout < 0 {
+		return badOption("StallTimeout", "%v is negative", o.StallTimeout)
 	}
 	if o.GA.PopSize != 0 {
 		if err := o.GA.Validate(); err != nil {
@@ -296,6 +313,8 @@ type evaluator struct {
 	conf    float64
 	workers int
 	obs     telemetry.Recorder
+	// stall arms the per-evaluation watchdog (0 = disabled).
+	stall time.Duration
 
 	// mu guards the pool: GA objectives run serially, but TileObjective
 	// escapes to arbitrary callers.
@@ -325,6 +344,7 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 		conf:    opt.Confidence,
 		workers: workers,
 		obs:     opt.Observer,
+		stall:   opt.StallTimeout,
 	}, nil
 }
 
@@ -370,7 +390,27 @@ func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspac
 			e.obs.Add(telemetry.Counters{PoolMisses: 1})
 		}
 	}
-	return e.sample.EvaluateObserved(ctx, ans, e.obs)
+	if e.stall <= 0 {
+		return e.sample.EvaluateObserved(ctx, ans, e.obs)
+	}
+	// Under the watchdog a truly hung evaluation leaks its workers, which
+	// still hold the pooled analyzers — abandon the pool (the caller holds
+	// e.mu) so the next evaluation rebuilds a fresh one.
+	return e.watchedStats(ctx, func() { e.pool, e.poolNest = nil, nil },
+		func(wctx context.Context) (cachesim.Stats, error) {
+			return e.sample.EvaluateObserved(wctx, ans, e.obs)
+		})
+}
+
+// watchedStats adapts the generic watchdog to the Stats-returning
+// evaluation signature.
+func (e *evaluator) watchedStats(ctx context.Context, onHang func(),
+	fn func(context.Context) (cachesim.Stats, error)) (cachesim.Stats, error) {
+	v, err := watched(ctx, e.stall, onHang, func(wctx context.Context) (any, error) {
+		return fn(wctx)
+	})
+	st, _ := v.(cachesim.Stats)
+	return st, err
 }
 
 // evalFresh evaluates the sample on a one-off analyzer — the multi-level
@@ -389,7 +429,13 @@ func (e *evaluator) evalFresh(ctx context.Context, an *cme.Analyzer) (cachesim.S
 			ans = append(ans, an.Clone())
 		}
 	}
-	return e.sample.EvaluateObserved(ctx, ans, e.obs)
+	if e.stall <= 0 {
+		return e.sample.EvaluateObserved(ctx, ans, e.obs)
+	}
+	// One-off analyzers: nothing shared to abandon on a hang.
+	return e.watchedStats(ctx, nil, func(wctx context.Context) (cachesim.Stats, error) {
+		return e.sample.EvaluateObserved(wctx, ans, e.obs)
+	})
 }
 
 // tiled evaluates a tile vector over (a possibly padded copy of) the nest.
@@ -423,6 +469,9 @@ type TilingResult struct {
 	// for every reason, but only ga.StopConverged means the full Figure-7
 	// schedule ran.
 	Stopped ga.StopReason
+	// Quarantined lists the candidates set aside under
+	// Options.FailQuarantine; non-empty means the run completed degraded.
+	Quarantined []QuarantinedEval
 }
 
 // OptimizeTiling runs the paper's tile-size search on a rectangular nest.
@@ -449,21 +498,20 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	if len(gaCfg.SeedValues) == 0 {
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, opt.Cache)
 	}
-	var sink errSink
-	obj := func(v []int64) float64 {
+	guard := opt.newGuard()
+	obj := guard.objective("tiling", func(v []int64) (float64, error) {
 		st, err := ev.tiled(ctx, nest, tileFromGenome(ev.box, v))
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
-		return float64(st.Replacement)
-	}
+		return float64(st.Replacement), nil
+	})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if sink.err != nil {
-		return nil, sink.err
+	if err := guard.err(); err != nil {
+		return nil, err
 	}
 
 	best := tileFromGenome(ev.box, res.Best)
@@ -486,13 +534,14 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	}
 	opt.emitStop("tiling", res, started)
 	return &TilingResult{
-		Tile:      best,
-		Before:    ev.estimate(beforeStats),
-		After:     ev.estimate(afterStats),
-		TiledNest: tiledNest,
-		Space:     space,
-		GA:        res,
-		Stopped:   res.Stopped,
+		Tile:        best,
+		Before:      ev.estimate(beforeStats),
+		After:       ev.estimate(afterStats),
+		TiledNest:   tiledNest,
+		Space:       space,
+		GA:          res,
+		Stopped:     res.Stopped,
+		Quarantined: guard.quarantined(),
 	}, nil
 }
 
@@ -572,6 +621,8 @@ type OrderedTilingResult struct {
 	TiledNest     *ir.Nest
 	GA            ga.Result
 	Stopped       ga.StopReason
+	// Quarantined lists candidates set aside under FailQuarantine.
+	Quarantined []QuarantinedEval
 }
 
 // OptimizeTilingOrder extends the paper's search with the interchange half
@@ -615,22 +666,21 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	decode := func(v []int64) ([]int64, []int) {
 		return tileFromGenome(ev.box, v[:k]), lehmerToPerm(v[k:], k)
 	}
-	var sink errSink
-	obj := func(v []int64) float64 {
+	guard := opt.newGuard()
+	obj := guard.objective("tiling-order", func(v []int64) (float64, error) {
 		tile, order := decode(v)
 		st, err := ev.evalSpace(ctx, nest, iterspace.NewPermutedTiled(ev.box, tile, order))
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
-		return float64(st.Replacement)
-	}
+		return float64(st.Replacement), nil
+	})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if sink.err != nil {
-		return nil, sink.err
+	if err := guard.err(); err != nil {
+		return nil, err
 	}
 	tile, order := decode(res.Best)
 	tiledNest, space, err := tiling.ApplyPermuted(nest, tile, order)
@@ -651,13 +701,14 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	}
 	opt.emitStop("tiling-order", res, started)
 	return &OrderedTilingResult{
-		Tile:      tile,
-		Order:     order,
-		Before:    ev.estimate(beforeStats),
-		After:     ev.estimate(afterStats),
-		TiledNest: tiledNest,
-		GA:        res,
-		Stopped:   res.Stopped,
+		Tile:        tile,
+		Order:       order,
+		Before:      ev.estimate(beforeStats),
+		After:       ev.estimate(afterStats),
+		TiledNest:   tiledNest,
+		GA:          res,
+		Stopped:     res.Stopped,
+		Quarantined: guard.quarantined(),
 	}, nil
 }
 
@@ -715,6 +766,8 @@ type PaddingResult struct {
 	PaddedNest    *ir.Nest
 	GA            ga.Result
 	Stopped       ga.StopReason
+	// Quarantined lists candidates set aside under FailQuarantine.
+	Quarantined []QuarantinedEval
 }
 
 // OptimizePadding searches inter- and intra-array padding with the GA,
@@ -738,26 +791,24 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 		// doing nothing.
 		gaCfg.SeedValues = [][]int64{make([]int64, len(spec.Chroms))}
 	}
-	var sink errSink
-	obj := func(v []int64) float64 {
+	guard := opt.newGuard()
+	obj := guard.objective("padding", func(v []int64) (float64, error) {
 		padded, err := padding.Apply(nest, decodePlan(v))
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
 		st, err := ev.untiled(ctx, padded)
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
-		return float64(st.Replacement)
-	}
+		return float64(st.Replacement), nil
+	})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if sink.err != nil {
-		return nil, sink.err
+	if err := guard.err(); err != nil {
+		return nil, err
 	}
 	plan := decodePlan(res.Best)
 	padded, err := padding.Apply(nest, plan)
@@ -776,12 +827,13 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	}
 	opt.emitStop("padding", res, started)
 	return &PaddingResult{
-		Plan:       plan,
-		Before:     ev.estimate(beforeStats),
-		After:      ev.estimate(afterStats),
-		PaddedNest: padded,
-		GA:         res,
-		Stopped:    res.Stopped,
+		Plan:        plan,
+		Before:      ev.estimate(beforeStats),
+		After:       ev.estimate(afterStats),
+		PaddedNest:  padded,
+		GA:          res,
+		Stopped:     res.Stopped,
+		Quarantined: guard.quarantined(),
 	}, nil
 }
 
@@ -821,6 +873,9 @@ type CombinedResult struct {
 	Original, Padded, Combined sampling.Estimate
 	GA                         ga.Result
 	Stopped                    ga.StopReason
+	// Quarantined lists candidates set aside under FailQuarantine; for
+	// the sequential search it merges both phases.
+	Quarantined []QuarantinedEval
 }
 
 // OptimizePaddingThenTiling applies the two searches sequentially, exactly
@@ -859,13 +914,14 @@ func OptimizePaddingThenTiling(ctx context.Context, nest *ir.Nest, opt Options) 
 		stopped = padRes.Stopped
 	}
 	return &CombinedResult{
-		Plan:     padRes.Plan,
-		Tile:     tileRes.Tile,
-		Original: padRes.Before,
-		Padded:   padRes.After,
-		Combined: tileRes.After,
-		GA:       tileRes.GA,
-		Stopped:  stopped,
+		Plan:        padRes.Plan,
+		Tile:        tileRes.Tile,
+		Original:    padRes.Before,
+		Padded:      padRes.After,
+		Combined:    tileRes.After,
+		GA:          tileRes.GA,
+		Stopped:     stopped,
+		Quarantined: append(append([]QuarantinedEval(nil), padRes.Quarantined...), tileRes.Quarantined...),
 	}, nil
 }
 
@@ -903,26 +959,24 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 		}
 	}
 
-	var sink errSink
-	obj := func(v []int64) float64 {
+	guard := opt.newGuard()
+	obj := guard.objective("joint", func(v []int64) (float64, error) {
 		padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
 		st, err := ev.tiled(ctx, padded, tileFromGenome(ev.box, v[nPad:]))
 		if err != nil {
-			sink.note(err)
-			return poison()
+			return 0, err
 		}
-		return float64(st.Replacement)
-	}
+		return float64(st.Replacement), nil
+	})
 	res, err := ga.Run(ctx, joint, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if sink.err != nil {
-		return nil, sink.err
+	if err := guard.err(); err != nil {
+		return nil, err
 	}
 	plan := decodePlan(res.Best[:nPad])
 	tile := tileFromGenome(ev.box, res.Best[nPad:])
@@ -946,13 +1000,14 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	}
 	opt.emitStop("joint", res, started)
 	return &CombinedResult{
-		Plan:     plan,
-		Tile:     tile,
-		Original: ev.estimate(origStats),
-		Padded:   ev.estimate(padStats),
-		Combined: ev.estimate(combStats),
-		GA:       res,
-		Stopped:  res.Stopped,
+		Plan:        plan,
+		Tile:        tile,
+		Original:    ev.estimate(origStats),
+		Padded:      ev.estimate(padStats),
+		Combined:    ev.estimate(combStats),
+		GA:          res,
+		Stopped:     res.Stopped,
+		Quarantined: guard.quarantined(),
 	}, nil
 }
 

@@ -38,6 +38,8 @@ type MultiLevelResult struct {
 	// CostBefore/CostAfter are the weighted replacement-miss costs per
 	// sampled access.
 	CostBefore, CostAfter float64
+	// Quarantined lists candidates set aside under FailQuarantine.
+	Quarantined []QuarantinedEval
 }
 
 // OptimizeTilingMultiLevel extends the single-cache search to a cache
@@ -96,28 +98,26 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 		}
 		return c, nil
 	}
-	var sink errSink
-	obj := func(v []int64) float64 {
-		c, err := cost(ctx, tileFromGenome(ev.box, v))
-		if err != nil {
-			sink.note(err)
-			return poison()
-		}
-		return c
-	}
+	guard := opt.newGuard()
+	obj := guard.objective("multilevel", func(v []int64) (float64, error) {
+		return cost(ctx, tileFromGenome(ev.box, v))
+	})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
 	}
-	if sink.err != nil {
-		return nil, sink.err
+	if err := guard.err(); err != nil {
+		return nil, err
 	}
 	best := tileFromGenome(ev.box, res.Best)
 	tiledNest, space, err := tiling.Apply(nest, best)
 	if err != nil {
 		return nil, err
 	}
-	out := &MultiLevelResult{Tile: best, TiledNest: tiledNest, GA: res, Stopped: res.Stopped}
+	out := &MultiLevelResult{
+		Tile: best, TiledNest: tiledNest, GA: res, Stopped: res.Stopped,
+		Quarantined: guard.quarantined(),
+	}
 	accesses := float64(len(ev.sample.Points) * len(nest.Refs))
 	opt.emitPhase("multilevel", "finalize")
 	fin := context.Background()

@@ -37,6 +37,13 @@ type Config struct {
 	// Workers bounds the evaluation fan-out per objective
 	// (0 = core.DefaultWorkers). Worker count never changes results.
 	Workers int
+	// FailurePolicy selects how each search reacts to a broken
+	// evaluation (the zero value aborts, preserving the historical
+	// contract; core.FailQuarantine completes degraded on best-so-far).
+	FailurePolicy core.FailurePolicy
+	// StallTimeout arms the per-evaluation watchdog of every search
+	// (0 = no watchdog).
+	StallTimeout time.Duration
 	// Observer receives the telemetry stream of every search the
 	// experiment suite runs (nil = unobserved).
 	Observer telemetry.Recorder
@@ -60,6 +67,8 @@ func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 		Deadline:       c.Deadline,
 		MaxEvaluations: c.MaxEvaluations,
 		Workers:        c.Workers,
+		FailurePolicy:  c.FailurePolicy,
+		StallTimeout:   c.StallTimeout,
 		Observer:       c.Observer,
 	}
 }

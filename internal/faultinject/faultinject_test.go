@@ -1,0 +1,250 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.Fire(context.Background(), EvalPanic); err != nil {
+		t.Fatalf("nil plan fired: %v", err)
+	}
+	if h, f := p.Counts(EvalPanic); h != 0 || f != 0 {
+		t.Fatalf("nil plan counts = %d/%d", h, f)
+	}
+	ctx := context.Background()
+	if With(ctx, nil) != ctx {
+		t.Fatal("With(nil) rewrapped the context")
+	}
+	if From(ctx) != nil {
+		t.Fatal("From on a bare context is not nil")
+	}
+}
+
+func TestAfterTimesTriggers(t *testing.T) {
+	p := New(1, Rule{Point: CheckpointWrite, After: 3, Times: 2})
+	var fails []int
+	for i := 1; i <= 6; i++ {
+		if err := p.Fire(context.Background(), CheckpointWrite); err != nil {
+			var f *Fault
+			if !errors.As(err, &f) || f.Point != CheckpointWrite {
+				t.Fatalf("hit %d: unexpected error %v", i, err)
+			}
+			fails = append(fails, i)
+		}
+	}
+	if len(fails) != 2 || fails[0] != 3 || fails[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fails)
+	}
+	if h, f := p.Counts(CheckpointWrite); h != 6 || f != 2 {
+		t.Fatalf("counts = %d/%d, want 6/2", h, f)
+	}
+	// An unarmed point never fires, but an armed one also never fires for
+	// a different point's hits.
+	if err := p.Fire(context.Background(), SinkWrite); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	p := New(1, Rule{Point: EvalPanic, Action: Panic})
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok || f.Point != EvalPanic || f.Hit != 1 {
+			t.Fatalf("recovered %v, want *Fault{eval.panic, 1}", r)
+		}
+	}()
+	p.Fire(context.Background(), EvalPanic)
+	t.Fatal("did not panic")
+}
+
+func TestStallHonoursContext(t *testing.T) {
+	p := New(1, Rule{Point: EvalStall, Action: Stall}) // unbounded stall
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Fire(ctx, EvalStall) }()
+	select {
+	case err := <-done:
+		t.Fatalf("stall returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stall returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stall did not unblock on cancel")
+	}
+}
+
+func TestBoundedStallCompletes(t *testing.T) {
+	p := New(1, Rule{Point: EvalStall, Action: Stall, Stall: time.Millisecond})
+	start := time.Now()
+	if err := p.Fire(context.Background(), EvalStall); err != nil {
+		t.Fatalf("bounded stall errored: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("bounded stall returned too early")
+	}
+}
+
+// TestProbDeterministic: a probabilistic trigger fires on the identical
+// hit numbers for the identical seed — the property chaos-suite
+// determinism rests on.
+func TestProbDeterministic(t *testing.T) {
+	fired := func(seed uint64) []int {
+		p := New(seed, Rule{Point: SinkWrite, Prob: 0.3})
+		var hits []int
+		for i := 1; i <= 200; i++ {
+			if p.Fire(context.Background(), SinkWrite) != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := fired(42), fired(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob=0.3 fired %d/200 times", len(a))
+	}
+	if c := fired(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestFireConcurrencySafe(t *testing.T) {
+	p := New(1, Rule{Point: SinkWrite, After: 50, Times: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if p.Fire(context.Background(), SinkWrite) != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h, f := p.Counts(SinkWrite); h != 200 || f != 10 || fired != 10 {
+		t.Fatalf("hits=%d fired=%d observed=%d, want 200/10/10", h, f, fired)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=7; eval.panic:after=3,times=1; sink.write:prob=0.5; eval.stall:stall=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // hits 1-2 pass
+		if err := p.Fire(context.Background(), EvalPanic); err != nil {
+			t.Fatalf("hit %d fired: %v", i+1, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("hit 3 did not panic")
+			}
+		}()
+		p.Fire(context.Background(), EvalPanic)
+	}()
+	// times=1: the fourth hit passes again.
+	if err := p.Fire(context.Background(), EvalPanic); err != nil {
+		t.Fatalf("hit 4 fired after times=1 exhausted: %v", err)
+	}
+
+	for _, bad := range []string{
+		"",
+		"nope.unknown:after=1",
+		"eval.panic:after=x",
+		"eval.panic:prob=1.5",
+		"eval.panic:mode=explode",
+		"eval.panic:after",
+		"seed=abc;eval.panic",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseModeOverride(t *testing.T) {
+	p, err := Parse("checkpoint.write:mode=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mode=panic did not panic")
+		}
+	}()
+	p.Fire(context.Background(), CheckpointWrite)
+}
+
+func TestContextThreading(t *testing.T) {
+	p := New(1, Rule{Point: EvalPanic})
+	ctx := With(context.Background(), p)
+	if From(ctx) != p {
+		t.Fatal("From did not recover the installed plan")
+	}
+	if From(nil) != nil {
+		t.Fatal("From(nil ctx) not nil")
+	}
+}
+
+func TestWriter(t *testing.T) {
+	var buf bytes.Buffer
+	p := New(1, Rule{Point: SinkWrite, After: 2, Times: 1})
+	w := Writer(&buf, p, SinkWrite)
+	if _, err := w.Write([]byte("one\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if n, err := w.Write([]byte("two\n")); err == nil || n != 0 {
+		t.Fatalf("write 2 = %d, %v; want injected fault", n, err)
+	} else if !Is(err) {
+		t.Fatalf("write 2 error %v is not a *Fault", err)
+	}
+	if _, err := w.Write([]byte("three\n")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if got := buf.String(); got != "one\nthree\n" {
+		t.Fatalf("buffer = %q", got)
+	}
+	// Nil plan: Writer degrades to the bare writer.
+	if Writer(&buf, nil, SinkWrite) != &buf {
+		t.Fatal("Writer(nil plan) wrapped anyway")
+	}
+}
+
+func TestStringRendersRules(t *testing.T) {
+	p, err := Parse("eval.panic:after=2;sink.write:prob=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "eval.panic:mode=panic,after=2") || !strings.Contains(s, "prob=0.25") {
+		t.Fatalf("String() = %q", s)
+	}
+	var nilPlan *Plan
+	if nilPlan.String() == "" {
+		t.Fatal("nil plan String empty")
+	}
+}

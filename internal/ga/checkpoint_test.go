@@ -1,0 +1,134 @@
+package ga
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleCheckpoint builds a small self-consistent snapshot with the memo
+// deliberately out of genome order.
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:  checkpointVersion,
+		Label:    "tiling",
+		SpecBits: 4,
+		Gen:      2,
+		Evals:    7,
+		RNG:      []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Pop: [][]byte{
+			{1, 1, 0, 0},
+			{0, 1, 0, 1},
+		},
+		Memo: []MemoEntry{
+			{Bits: []byte{1, 1, 0, 0}, Value: 9},
+			{Bits: []byte{0, 0, 0, 1}, Value: 3},
+			{Bits: []byte{0, 1, 0, 1}, Value: 5},
+		},
+		Best:      []int64{3, 5},
+		BestValue: 3,
+		History: []GenStats{
+			{Gen: 0, Best: 5, Avg: 7, BestEver: 5},
+			{Gen: 1, Best: 3, Avg: 6, BestEver: 3},
+			{Gen: 2, Best: 3, Avg: 5.5, BestEver: 3},
+		},
+	}
+}
+
+// TestWriteCheckpointDoesNotMutateMemo: the serialiser sorts a copy of
+// the memo, never the caller's slice — the GA hands WriteCheckpoint its
+// live snapshot, and reordering it behind the caller's back corrupted
+// any later use of the same Checkpoint value.
+func TestWriteCheckpointDoesNotMutateMemo(t *testing.T) {
+	c := sampleCheckpoint()
+	orig := make([]MemoEntry, len(c.Memo))
+	copy(orig, c.Memo)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if !bytes.Equal(c.Memo[i].Bits, orig[i].Bits) || c.Memo[i].Value != orig[i].Value {
+			t.Fatalf("WriteCheckpoint reordered the caller's memo:\n got %v\nwant %v", c.Memo, orig)
+		}
+	}
+	// The caller's Sum stays untouched too.
+	if c.Sum != "" {
+		t.Fatalf("WriteCheckpoint mutated the caller's Sum to %q", c.Sum)
+	}
+	// And the written form is still sorted (deterministic bytes).
+	var buf2 bytes.Buffer
+	c2 := sampleCheckpoint()
+	c2.Memo[0], c2.Memo[1] = c2.Memo[1], c2.Memo[0] // different input order
+	if err := WriteCheckpoint(&buf2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("memo input order leaked into the serialised bytes")
+	}
+}
+
+func TestCheckpointSumRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sum"`) {
+		t.Fatalf("serialised checkpoint has no sum field:\n%s", buf.String())
+	}
+	c, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	if c.Gen != 2 || c.Evals != 7 || len(c.Memo) != 3 || c.Sum == "" {
+		t.Fatalf("round trip lost state: %+v", c)
+	}
+}
+
+func TestCheckpointSumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a value inside the body without breaking JSON syntax.
+	corrupted := strings.Replace(buf.String(), `"evals": 7`, `"evals": 8`, 1)
+	if corrupted == buf.String() {
+		t.Fatalf("fixture drift: evals field not found in\n%s", buf.String())
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(corrupted)); err == nil {
+		t.Fatal("bit-flipped checkpoint accepted")
+	} else if !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("corruption surfaced as %v, want an integrity error", err)
+	}
+}
+
+func TestCheckpointWithoutSumAccepted(t *testing.T) {
+	// Snapshots written before the integrity field existed decode fine.
+	c := sampleCheckpoint()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	legacy := strings.Replace(buf.String(), `,
+ "sum"`, `,
+ "nosum"`, 1)
+	got, err := ReadCheckpoint(strings.NewReader(legacy))
+	if err != nil {
+		// The replace above renames the field; if the fixture drifts, be
+		// loud about it rather than silently testing nothing.
+		t.Fatalf("legacy (sum-less) checkpoint rejected: %v", err)
+	}
+	if got.Gen != c.Gen {
+		t.Fatalf("legacy decode lost state: %+v", got)
+	}
+}
+
+func TestCheckpointTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

@@ -2,6 +2,8 @@ package ga
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,6 +95,13 @@ type Checkpoint struct {
 	Best      []int64    `json:"best"`
 	BestValue float64    `json:"best_value"`
 	History   []GenStats `json:"history"`
+	// Sum is the hex SHA-256 of the snapshot's canonical encoding (the
+	// same JSON with Sum itself empty). WriteCheckpoint fills it in;
+	// ReadCheckpoint refuses a snapshot whose body does not hash back to
+	// it, so a torn write or bit-flipped file is detected instead of
+	// silently resuming corrupted state. Snapshots without a Sum (written
+	// before it existed) are accepted unverified.
+	Sum string `json:"sum,omitempty"`
 }
 
 // checkpointVersion is bumped whenever the snapshot layout changes.
@@ -123,23 +132,70 @@ func (c *Checkpoint) validate(spec Spec, cfg Config) error {
 	return nil
 }
 
-// WriteCheckpoint serialises a snapshot as indented JSON. The memo is
-// written in sorted genome order so identical states produce identical
-// bytes.
-func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
-	sort.Slice(c.Memo, func(i, j int) bool {
-		return bytes.Compare(c.Memo[i].Bits, c.Memo[j].Bits) < 0
-	})
-	enc := json.NewEncoder(w)
+// marshalCheckpoint is the one canonical encoding (indented JSON, fixed
+// field order) shared by writing and checksum verification.
+func marshalCheckpoint(c *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", " ")
-	return enc.Encode(c)
+	if err := enc.Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
-// ReadCheckpoint deserialises a snapshot written by WriteCheckpoint.
+// checkpointSum is the hex SHA-256 of a snapshot's canonical body.
+func checkpointSum(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteCheckpoint serialises a snapshot as indented JSON with its
+// SHA-256 integrity sum filled in. The memo is written in sorted genome
+// order so identical states produce identical bytes; the sort operates
+// on a copy, so the caller's Checkpoint (often the GA's live snapshot)
+// is never reordered behind its back.
+func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
+	cp := *c
+	cp.Memo = append([]MemoEntry(nil), c.Memo...)
+	sort.Slice(cp.Memo, func(i, j int) bool {
+		return bytes.Compare(cp.Memo[i].Bits, cp.Memo[j].Bits) < 0
+	})
+	cp.Sum = ""
+	body, err := marshalCheckpoint(&cp)
+	if err != nil {
+		return err
+	}
+	cp.Sum = checkpointSum(body)
+	out, err := marshalCheckpoint(&cp)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
+// ReadCheckpoint deserialises a snapshot written by WriteCheckpoint and
+// verifies its integrity sum: the decoded state must hash back to the
+// recorded SHA-256, so truncated or bit-flipped snapshots are rejected
+// here rather than corrupting a resumed search. Legacy snapshots with no
+// sum are accepted unverified.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var c Checkpoint
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("ga: reading checkpoint: %w", err)
+	}
+	if c.Sum != "" {
+		want := c.Sum
+		c.Sum = ""
+		body, err := marshalCheckpoint(&c)
+		if err != nil {
+			return nil, fmt.Errorf("ga: re-encoding checkpoint for verification: %w", err)
+		}
+		if got := checkpointSum(body); got != want {
+			return nil, fmt.Errorf("ga: checkpoint integrity: sum %s does not match recorded %s", got, want)
+		}
+		c.Sum = want
 	}
 	return &c, nil
 }

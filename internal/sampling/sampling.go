@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cachesim"
 	"repro/internal/cme"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
 	"repro/internal/telemetry"
@@ -282,9 +283,9 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 		workers = n
 	}
 	if workers < 2 || n < 64 {
-		var st cachesim.Stats
-		err := classifyRange(ctx, an, s.Points, &st)
-		return st, err
+		// Serial runs still route through EvaluateWith so fault injection
+		// and panic recovery behave identically at every worker count.
+		return s.EvaluateWith(ctx, []*cme.Analyzer{an})
 	}
 	ans := make([]*cme.Analyzer, workers)
 	ans[0] = an
@@ -300,12 +301,32 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 // and reuse a fixed analyzer pool across candidates skip the per-call
 // Clone allocation churn entirely. Cancellation, panic recovery and the
 // complete-result guarantee match EvaluateContext.
-func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesim.Stats, error) {
+//
+// A fault-injection plan threaded through ctx (faultinject.With) is
+// consulted once at entry, before any worker starts: the eval.stall and
+// eval.panic points fire here, in the serial section, so their hit counts
+// equal the number of evaluation batches regardless of the worker count —
+// which batch a scripted fault lands on is deterministic. Any panic,
+// injected or genuine, surfaces as an error, never a crash.
+func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (st cachesim.Stats, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(ans) == 0 {
 		return cachesim.Stats{}, fmt.Errorf("sampling: EvaluateWith needs at least one analyzer")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = cachesim.Stats{}, fmt.Errorf("sampling: evaluation panic: %v", r)
+		}
+	}()
+	if plan := faultinject.From(ctx); plan != nil {
+		if ferr := plan.Fire(ctx, faultinject.EvalStall); ferr != nil {
+			return cachesim.Stats{}, ferr
+		}
+		if ferr := plan.Fire(ctx, faultinject.EvalPanic); ferr != nil {
+			return cachesim.Stats{}, ferr
+		}
 	}
 	n := len(s.Points)
 	workers := len(ans)
@@ -313,8 +334,7 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesi
 		workers = n
 	}
 	if workers < 2 || n < 64 {
-		var st cachesim.Stats
-		err := classifyRange(ctx, ans[0], s.Points, &st)
+		err = classifyRange(ctx, ans[0], s.Points, &st)
 		return st, err
 	}
 	partial := make([]cachesim.Stats, workers)
@@ -334,13 +354,12 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesi
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var st cachesim.Stats
 	for _, ps := range partial {
 		st.Add(ps)
 	}
-	for _, err := range errs {
-		if err != nil {
-			return st, err
+	for _, werr := range errs {
+		if werr != nil {
+			return st, werr
 		}
 	}
 	// Every worker finished its slice: the result is complete and valid

@@ -1,0 +1,132 @@
+package sinks
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/telemetry"
+)
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+// TestJSONLFaultEvents: the fault-tolerance events encode with stable
+// field names.
+func TestJSONLFaultEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Event(telemetry.EvaluationQuarantined{Search: "tiling", Values: []int64{8, 16}, Reason: "boom"})
+	j.Event(telemetry.CheckpointRecovered{Path: "run.ckpt", Cause: "integrity"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines:\n%s", buf.String())
+	}
+	var q struct {
+		Ev     string  `json:"ev"`
+		Search string  `json:"search"`
+		Values []int64 `json:"values"`
+		Reason string  `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Ev != "evaluation_quarantined" || q.Search != "tiling" || len(q.Values) != 2 || q.Reason != "boom" {
+		t.Fatalf("quarantine line = %+v", q)
+	}
+	if !strings.Contains(lines[1], `"ev":"checkpoint_recovered"`) || !strings.Contains(lines[1], `"path":"run.ckpt"`) {
+		t.Fatalf("recovered line = %s", lines[1])
+	}
+}
+
+// TestJSONLRetriesTransientWrite: a sink-write fault that fires once is
+// absorbed by the retry policy — the line lands intact and Close is
+// clean.
+func TestJSONLRetriesTransientWrite(t *testing.T) {
+	var buf bytes.Buffer
+	plan := faultinject.New(1, faultinject.Rule{Point: faultinject.SinkWrite, After: 2, Times: 1})
+	j := NewJSONL(faultinject.Writer(&buf, plan, faultinject.SinkWrite))
+	j.Retry = retry.Policy{Attempts: 3, Sleep: noSleep}
+	j.Event(telemetry.PhaseChange{Search: "tiling", Phase: "a"})
+	j.Event(telemetry.PhaseChange{Search: "tiling", Phase: "b"}) // faulted once, retried
+	if err := j.Close(); err != nil {
+		t.Fatalf("transient sink fault surfaced: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3 (a, b, counters):\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d not valid JSON after retry: %s", i, line)
+		}
+	}
+}
+
+// TestJSONLPersistentWriteFailureLatched: a fault on every attempt
+// exhausts the retries; the error reaches Close and later lines are
+// dropped rather than interleaved after a torn write.
+func TestJSONLPersistentWriteFailureLatched(t *testing.T) {
+	var buf bytes.Buffer
+	plan := faultinject.New(1, faultinject.Rule{Point: faultinject.SinkWrite})
+	j := NewJSONL(faultinject.Writer(&buf, plan, faultinject.SinkWrite))
+	j.Retry = retry.Policy{Attempts: 2, Sleep: noSleep}
+	j.Event(telemetry.PhaseChange{Search: "tiling", Phase: "a"})
+	err := j.Close()
+	if err == nil || !faultinject.Is(err) {
+		t.Fatalf("Close = %v, want the injected fault", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed writes still produced output: %q", buf.String())
+	}
+}
+
+// TestTTYFaultEvents: the human-readable sink renders both new events.
+func TestTTYFaultEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tty := NewTTY(&buf)
+	tty.Event(telemetry.EvaluationQuarantined{Search: "tiling", Values: []int64{8, 16}, Reason: "boom"})
+	tty.Event(telemetry.CheckpointRecovered{Path: "run.ckpt", Cause: "integrity"})
+	out := buf.String()
+	if !strings.Contains(out, "quarantined [8 16]: boom") {
+		t.Fatalf("quarantine line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint recovered: run.ckpt") {
+		t.Fatalf("recovered line missing:\n%s", out)
+	}
+}
+
+// TestExpvarCountsFaultEvents: the generic per-kind tally covers the new
+// kinds with no special casing.
+func TestExpvarCountsFaultEvents(t *testing.T) {
+	x := NewExpvar("sinks_fault_test")
+	x.Event(telemetry.EvaluationQuarantined{Search: "tiling"})
+	x.Event(telemetry.CheckpointRecovered{Path: "p"})
+	var rec map[string]int64
+	if err := json.Unmarshal([]byte(x.String()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["events.evaluation_quarantined"] != 1 || rec["events.checkpoint_recovered"] != 1 {
+		t.Fatalf("expvar tallies = %v", rec)
+	}
+}
+
+// TestRetryErrorsUnwrap: the wrapped retry error still satisfies
+// errors.Is on the underlying fault, which the CLIs rely on for degraded
+// exit classification.
+func TestRetryErrorsUnwrap(t *testing.T) {
+	p := retry.Policy{Attempts: 2, Sleep: noSleep}
+	fault := &faultinject.Fault{Point: faultinject.SinkWrite, Hit: 1}
+	err := p.Do(context.Background(), func() error { return fault })
+	if !errors.Is(err, fault) {
+		t.Fatalf("wrapped fault lost: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +30,10 @@ type JSONL struct {
 	// search-stop lines. Off by default: wall-clock time is the one
 	// non-deterministic part of the stream.
 	Timestamps bool
+	// Retry bounds the per-line write retries absorbing transient I/O
+	// failures (a momentarily full pipe, an injected fault). The zero
+	// value is the default policy: three tries with short capped backoff.
+	Retry retry.Policy
 
 	mu       sync.Mutex
 	w        io.Writer
@@ -120,6 +125,19 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Individuals int    `json:"individuals"`
 			MemoEntries int    `json:"memo_entries"`
 		}{string(ev.Kind()), ev.Search, ev.Gen, ev.Individuals, ev.MemoEntries}
+	case telemetry.EvaluationQuarantined:
+		return struct {
+			Ev     string  `json:"ev"`
+			Search string  `json:"search"`
+			Values []int64 `json:"values"`
+			Reason string  `json:"reason"`
+		}{string(ev.Kind()), ev.Search, ev.Values, ev.Reason}
+	case telemetry.CheckpointRecovered:
+		return struct {
+			Ev    string `json:"ev"`
+			Path  string `json:"path"`
+			Cause string `json:"cause"`
+		}{string(ev.Kind()), ev.Path, ev.Cause}
 	case telemetry.SearchStop:
 		rec := struct {
 			Ev        string  `json:"ev"`
@@ -152,7 +170,11 @@ func (j *JSONL) Add(c telemetry.Counters) {
 }
 
 // writeLine marshals rec and appends it as one line; callers hold j.mu.
-// The first write error is retained and reported by Close.
+// Transient write failures are retried with capped backoff (each attempt
+// rewrites the whole line, so a torn line is never followed by a valid
+// one on the same stream without a retry marker in between); the first
+// persistent error is retained and reported by Close, and later lines are
+// dropped.
 func (j *JSONL) writeLine(rec any) {
 	if j.err != nil {
 		return
@@ -162,7 +184,11 @@ func (j *JSONL) writeLine(rec any) {
 		j.err = err
 		return
 	}
-	if _, err := j.w.Write(append(b, '\n')); err != nil {
+	line := append(b, '\n')
+	if err := j.Retry.Do(nil, func() error {
+		_, werr := j.w.Write(line)
+		return werr
+	}); err != nil {
 		j.err = err
 	}
 }

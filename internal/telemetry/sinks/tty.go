@@ -48,6 +48,11 @@ func (t *TTY) Event(e telemetry.Event) {
 	case telemetry.CheckpointWritten:
 		fmt.Fprintf(t.w, "[%s] checkpoint @ gen %d (%d individuals, %d memo entries)\n",
 			ev.Search, ev.Gen, ev.Individuals, ev.MemoEntries)
+	case telemetry.EvaluationQuarantined:
+		fmt.Fprintf(t.w, "[%s] quarantined %v: %s\n", ev.Search, ev.Values, ev.Reason)
+	case telemetry.CheckpointRecovered:
+		fmt.Fprintf(t.w, "checkpoint recovered: %s unusable (%s), resumed from previous-good copy\n",
+			ev.Path, ev.Cause)
 	case telemetry.SearchStop:
 		fmt.Fprintf(t.w, "[%s] stop (%s): %d generations, %d evaluations, best %.6g, %v\n",
 			ev.Search, ev.Stopped, ev.Generations, ev.Evaluations, ev.BestValue,

@@ -38,6 +38,12 @@ const (
 	KindEvaluationBatch   Kind = "evaluation_batch"
 	KindCheckpointWritten Kind = "checkpoint"
 	KindSearchStop        Kind = "search_stop"
+	// KindEvaluationQuarantined and KindCheckpointRecovered are the
+	// fault-tolerance events: a candidate whose evaluation failed was
+	// assigned worst fitness and set aside, or a corrupt/missing primary
+	// checkpoint was replaced by its rotated previous-good copy.
+	KindEvaluationQuarantined Kind = "evaluation_quarantined"
+	KindCheckpointRecovered   Kind = "checkpoint_recovered"
 )
 
 // Event is one typed occurrence in a search's life. The concrete types are
@@ -140,6 +146,35 @@ type CheckpointWritten struct {
 
 // Kind implements Event.
 func (CheckpointWritten) Kind() Kind { return KindCheckpointWritten }
+
+// EvaluationQuarantined reports a candidate whose objective evaluation
+// panicked or errored under Options.FailQuarantine: the search assigned
+// it worst fitness and continued instead of aborting. A run that emits
+// this event completed in degraded mode.
+type EvaluationQuarantined struct {
+	// Search is the GA phase label the candidate belonged to.
+	Search string
+	// Values is the decoded candidate (tile vector, pad vector, ...).
+	Values []int64
+	// Reason is the recovered panic value or error text.
+	Reason string
+}
+
+// Kind implements Event.
+func (EvaluationQuarantined) Kind() Kind { return KindEvaluationQuarantined }
+
+// CheckpointRecovered reports that loading the primary checkpoint file
+// failed and the rotated previous-good copy was used instead. The resumed
+// search loses at most one generation of progress.
+type CheckpointRecovered struct {
+	// Path is the primary checkpoint path that could not be used.
+	Path string
+	// Cause is the error that disqualified the primary copy.
+	Cause string
+}
+
+// Kind implements Event.
+func (CheckpointRecovered) Kind() Kind { return KindCheckpointRecovered }
 
 // SearchStop closes a search's event stream with its outcome.
 type SearchStop struct {
