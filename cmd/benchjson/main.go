@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/cliutil"
 )
 
 // Benchmark is one parsed result line.
@@ -73,7 +75,9 @@ func parseLine(line string) (Benchmark, bool) {
 
 func main() {
 	out := flag.String("out", "", "write JSON to this file and echo stdin to stdout; empty = JSON to stdout")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersion("benchjson", version)
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

@@ -32,8 +32,10 @@ func main() {
 		tileF   = flag.String("tile", "", "comma-separated tile sizes (empty = untiled)")
 		limit   = flag.Uint64("limit", 200_000_000, "refuse traces longer than this many accesses")
 		workers = flag.Int("workers", 1, "run the shadow, traffic, and per-ref simulations concurrently (>1); never changes the output")
+		version = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersion("cachesim", version)
 
 	cfg, err := cliutil.ParseCache(*cacheF)
 	if err != nil {

@@ -38,8 +38,10 @@ func main() {
 		dump    = flag.Bool("dump", false, "dump every equation polyhedron")
 		seed    = flag.Uint64("seed", 1, "sampling seed")
 		workers = flag.Int("workers", 0, "classification goroutines for the sampled estimate (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the output")
+		version = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersion("cmereport", version)
 
 	cfg, err := cliutil.ParseCache(*cacheF)
 	if err != nil {

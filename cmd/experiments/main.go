@@ -56,8 +56,10 @@ func main() {
 		policyF  = flag.String("failure-policy", "", "on a broken evaluation: abort (default) or quarantine (finish the table degraded)")
 		stall    = flag.Duration("stall-timeout", 0, "give up on an evaluation batch after this long (0 = no watchdog)")
 		faultF   = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;eval.panic:after=3,times=1' (chaos testing)")
+		version  = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersion("experiments", version)
 	if *all {
 		*table2, *figure8, *figure9, *table3, *table4 = true, true, true, true, true
 		*conv, *sampChk, *assoc, *inter = true, true, true, true

@@ -52,8 +52,10 @@ func main() {
 		policyF  = flag.String("failure-policy", "", "on a broken evaluation: abort (default) or quarantine (complete degraded on best-so-far)")
 		stall    = flag.Duration("stall-timeout", 0, "give up on an evaluation batch after this long (0 = no watchdog)")
 		faultF   = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;eval.panic:after=3,times=1' (chaos testing)")
+		version  = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersion("tilegen", version)
 
 	if *list {
 		fmt.Printf("%-10s %-10s %-5s %-18s %s\n", "NAME", "PROGRAM", "DEPTH", "SIZES", "DESCRIPTION")

@@ -1,0 +1,130 @@
+// Command tilingd serves tiling decisions over HTTP/JSON: POST a kernel
+// (catalog name or inline source), a cache geometry and search bounds to
+// /v1/tile and get near-optimal tile sizes back. The daemon is built to
+// survive sustained load: bounded admission with explicit 429 load
+// shedding, per-request deadlines that degrade to best-so-far tiles, a
+// singleflight-deduplicated result cache, a circuit breaker that falls
+// back to a cheap heuristic tiling when searches keep failing, and a
+// SIGTERM drain that answers every accepted request before exiting.
+//
+// Usage:
+//
+//	tilingd -addr :8080
+//	curl -s localhost:8080/v1/tile -d '{"kernel":"MM","size":500,"cache":"8k","seed":1}'
+//
+// Endpoints: POST /v1/tile, GET /healthz, GET /debug/vars (expvar).
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cmetiling "repro"
+	"repro/internal/cliutil"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		conc       = flag.Int("concurrency", 0, "max concurrent searches (0 = min(4, NumCPU))")
+		queue      = flag.Int("queue", 64, "admission queue depth; requests beyond it are shed with 429")
+		defTimeout = flag.Duration("default-timeout", 30*time.Second, "per-request search deadline when the request names none")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "hard cap on any request's search deadline")
+		stall      = flag.Duration("stall-timeout", 10*time.Second, "per-evaluation watchdog on every search")
+		cacheEnt   = flag.Int("cache-entries", 512, "result-cache capacity (responses)")
+		brkFails   = flag.Int("breaker-failures", 5, "consecutive search failures that trip the fallback breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker serves fallback tilings before probing")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace: searches still running after this are cancelled to best-so-far")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		traceOut   = flag.String("trace-out", "", "append the server and search telemetry event stream to this JSONL file")
+		faultF     = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;server.accept:times=2' (chaos testing)")
+		version    = cliutil.VersionFlag()
+	)
+	flag.Parse()
+	cliutil.HandleVersion("tilingd", version)
+
+	var faults *cmetiling.FaultPlan
+	if *faultF != "" {
+		var err error
+		faults, err = cmetiling.ParseFaultSpec(*faultF)
+		if err != nil {
+			cliutil.Fatal("tilingd", err)
+		}
+	}
+
+	// Telemetry: expvar always (served at /debug/vars), JSONL on request.
+	recorders := []cmetiling.Recorder{cmetiling.NewExpvarSink("tilingd")}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cliutil.Fatal("tilingd", err)
+		}
+		sink := cmetiling.NewJSONLSink(cmetiling.FaultWriter(f, faults, cmetiling.FaultSinkWrite))
+		cliutil.AtExit(func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tilingd: trace: %v\n", err)
+			}
+			f.Close()
+		})
+		recorders = append(recorders, sink)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:    *conc,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		StallTimeout:     *stall,
+		CacheEntries:     *cacheEnt,
+		BreakerThreshold: *brkFails,
+		BreakerCooldown:  *brkCool,
+		RetryAfter:       *retryAfter,
+		Observer:         cmetiling.MultiRecorder(recorders...),
+		Faults:           faults,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	httpSrv := &http.Server{Handler: mux}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal("tilingd", err)
+	}
+	fmt.Fprintf(os.Stderr, "tilingd: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		cliutil.Fatal("tilingd", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: finish (or cancel to best-so-far) every accepted request,
+	// then close the listener and idle connections.
+	fmt.Fprintf(os.Stderr, "tilingd: draining (grace %v)\n", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	srv.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "tilingd: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "tilingd: drained, exiting")
+	cliutil.Exit(cliutil.ExitOK)
+}

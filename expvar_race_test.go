@@ -1,0 +1,92 @@
+package cmetiling_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	cmetiling "repro"
+)
+
+// TestExpvarSinkConcurrentSearches hammers one shared expvar sink from
+// several parallel searches, the way tilingd does in production: the sink
+// is a single Recorder shared by every concurrent request, so it must be
+// safe under -race and must not lose counts. The per-search numbers are
+// deterministic, so the aggregate is checked exactly against the sum of
+// the same searches run one at a time into private sinks.
+func TestExpvarSinkConcurrentSearches(t *testing.T) {
+	k, ok := cmetiling.GetKernel("MM")
+	if !ok {
+		t.Fatal("MM kernel missing")
+	}
+
+	const searches = 6
+	run := func(sink cmetiling.Recorder, seed uint64) {
+		nest, err := k.Instance(32)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{
+			Cache:          cmetiling.DM8K,
+			Seed:           seed,
+			MaxEvaluations: 25,
+			Observer:       sink,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Serial baseline: each search into its own sink, then sum.
+	want := make(map[string]int64)
+	for i := 0; i < searches; i++ {
+		sink := cmetiling.NewExpvarSink(fmt.Sprintf("race-baseline-%d", i))
+		run(sink, uint64(i+1))
+		for key, v := range expvarInts(t, sink.String()) {
+			want[key] += v
+		}
+	}
+
+	// Concurrent run: all searches share one sink.
+	shared := cmetiling.NewExpvarSink("race-shared")
+	var wg sync.WaitGroup
+	for i := 0; i < searches; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			run(shared, seed)
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+
+	got := expvarInts(t, shared.String())
+	for _, key := range []string{"evaluations", "sampled_points", "searches", "generations", "events"} {
+		if want[key] == 0 {
+			t.Errorf("baseline recorded no %s; test exercises nothing", key)
+		}
+		if got[key] != want[key] {
+			t.Errorf("shared sink %s = %d, want %d (counts lost under concurrency)", key, got[key], want[key])
+		}
+	}
+}
+
+// expvarInts parses an expvar map's JSON rendering into integer counters,
+// skipping non-numeric entries.
+func expvarInts(t *testing.T, s string) map[string]int64 {
+	t.Helper()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s), &raw); err != nil {
+		t.Fatalf("expvar map %q: %v", s, err)
+	}
+	out := make(map[string]int64, len(raw))
+	for k, v := range raw {
+		if n, err := strconv.ParseInt(string(v), 10, 64); err == nil {
+			out[k] = n
+		}
+	}
+	return out
+}

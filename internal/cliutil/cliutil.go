@@ -7,9 +7,11 @@ package cliutil
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -75,6 +77,70 @@ func ParseTile(s string, depth int) ([]int64, error) {
 		tile[i] = v
 	}
 	return tile, nil
+}
+
+// readBuildInfo is swapped out by tests.
+var readBuildInfo = debug.ReadBuildInfo
+
+// VersionString renders the tool's build identity from the build info the
+// Go linker embeds in every binary: module path and version, the Go
+// toolchain, and — when the build ran inside a VCS checkout — the revision,
+// its commit time, and whether the tree was dirty.
+func VersionString(tool string) string {
+	bi, ok := readBuildInfo()
+	if !ok {
+		return tool + " (no build info)"
+	}
+	var b strings.Builder
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	fmt.Fprintf(&b, "%s %s %s", tool, bi.Main.Path, version)
+	if bi.GoVersion != "" {
+		fmt.Fprintf(&b, " %s", bi.GoVersion)
+	}
+	var rev, at, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if modified == "true" {
+			b.WriteString("+dirty")
+		}
+		if at != "" {
+			fmt.Fprintf(&b, " (%s)", at)
+		}
+	}
+	return b.String()
+}
+
+// VersionFlag registers the shared -version flag on the default flag set.
+// Call before flag.Parse; after parsing, pass the returned pointer to
+// HandleVersion.
+func VersionFlag() *bool {
+	return flag.Bool("version", false, "print build information and exit")
+}
+
+// HandleVersion prints the tool's VersionString and exits cleanly when the
+// -version flag was given; otherwise it is a no-op. Call right after
+// flag.Parse.
+func HandleVersion(tool string, requested *bool) {
+	if requested != nil && *requested {
+		fmt.Println(VersionString(tool))
+		Exit(ExitOK)
+	}
 }
 
 // osExit is swapped out by tests.

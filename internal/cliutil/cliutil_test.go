@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/cache"
@@ -40,5 +41,42 @@ func TestParseTile(t *testing.T) {
 	}
 	if _, err := ParseTile("8,x,4", 3); err == nil {
 		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+	if got := VersionString("tool"); got != "tool (no build info)" {
+		t.Fatalf("no build info -> %q", got)
+	}
+
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			GoVersion: "go1.24.0",
+			Main:      debug.Module{Path: "example.com/repro", Version: ""},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.time", Value: "2026-08-08T00:00:00Z"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	got := VersionString("tilingd")
+	want := "tilingd example.com/repro (devel) go1.24.0 rev 0123456789ab+dirty (2026-08-08T00:00:00Z)"
+	if got != want {
+		t.Fatalf("VersionString =\n%q, want\n%q", got, want)
+	}
+
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			GoVersion: "go1.24.0",
+			Main:      debug.Module{Path: "example.com/repro", Version: "v1.2.3"},
+		}, true
+	}
+	if got := VersionString("tilegen"); got != "tilegen example.com/repro v1.2.3 go1.24.0" {
+		t.Fatalf("tagged VersionString = %q", got)
 	}
 }

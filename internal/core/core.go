@@ -573,7 +573,19 @@ func tileSeeds(nest *ir.Nest, box *iterspace.Box, cfg cache.Config) [][]int64 {
 	k := nest.Depth()
 	untiled := make([]int64, k)
 	ones := make([]int64, k)
-	sqrtT := make([]int64, k)
+	for d := 0; d < k; d++ {
+		untiled[d] = box.Extent(d)
+		ones[d] = 1
+	}
+	return [][]int64{capacityTile(nest, box, cfg), untiled, ones}
+}
+
+// capacityTile is the square-root capacity heuristic over a prepared box:
+// each tile dimension gets the k-th root of the per-array cache budget,
+// clamped to the loop extents.
+func capacityTile(nest *ir.Nest, box *iterspace.Box, cfg cache.Config) []int64 {
+	k := nest.Depth()
+	tile := make([]int64, k)
 	arrays := len(nest.Arrays())
 	if arrays == 0 {
 		arrays = 1
@@ -585,14 +597,32 @@ func tileSeeds(nest *ir.Nest, box *iterspace.Box, cfg cache.Config) [][]int64 {
 		t = 1
 	}
 	for d := 0; d < k; d++ {
-		untiled[d] = box.Extent(d)
-		ones[d] = 1
-		sqrtT[d] = t
-		if e := box.Extent(d); sqrtT[d] > e {
-			sqrtT[d] = e
+		tile[d] = t
+		if e := box.Extent(d); tile[d] > e {
+			tile[d] = e
 		}
 	}
-	return [][]int64{sqrtT, untiled, ones}
+	return tile
+}
+
+// HeuristicTile returns the square-root capacity heuristic tile for the
+// nest against one cache: the k-th root of the cache capacity divided
+// evenly among the nest's arrays, clamped per dimension to the loop
+// extents. It needs no search — the GA injects it as a seed individual,
+// and the serving layer returns it as the degraded fallback when the
+// circuit breaker has taken full searches out of rotation.
+func HeuristicTile(nest *ir.Nest, cfg cache.Config) ([]int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	box, err := tiling.Box(nest)
+	if err != nil {
+		return nil, err
+	}
+	return capacityTile(nest, box, cfg), nil
 }
 
 // tileFromGenome clamps decoded genome values into valid tile sizes. The

@@ -42,6 +42,14 @@ const (
 	CheckpointWrite = "checkpoint.write"
 	// SinkWrite fails a telemetry sink write (transient I/O error).
 	SinkWrite = "sink.write"
+	// ServerAccept sheds a tiling-service request at admission as if the
+	// queue were full, so chaos tests drive load shedding deterministically
+	// without generating real overload.
+	ServerAccept = "server.accept"
+	// CacheGet fails a result-cache lookup, forcing the request down the
+	// full-search miss path (the response must still be byte-identical —
+	// the determinism property the chaos suite asserts).
+	CacheGet = "cache.get"
 )
 
 // knownPoints guards -fault-spec typos: Parse rejects unknown names.
@@ -50,6 +58,8 @@ var knownPoints = map[string]Action{
 	EvalStall:       Stall,
 	CheckpointWrite: Error,
 	SinkWrite:       Error,
+	ServerAccept:    Error,
+	CacheGet:        Error,
 }
 
 // Action is what a fault point does when it fires.

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull is the load-shedding signal: the run slots and the bounded
+// wait queue are both full, so the request is rejected with 429 and a
+// Retry-After hint instead of being buffered without bound.
+var errQueueFull = errors.New("server: admission queue full")
+
+// gate is the admission control: at most maxRunning requests hold a run
+// slot, at most maxQueue more wait for one, and everything beyond that is
+// shed immediately. Waiters leave promptly when their context is
+// cancelled (client gone) — a dead waiter never blocks a live one.
+type gate struct {
+	slots    chan struct{} // buffered maxRunning; holding a token = running
+	maxQueue int
+
+	mu      sync.Mutex
+	waiting int
+}
+
+func newGate(maxRunning, maxQueue int) *gate {
+	return &gate{slots: make(chan struct{}, maxRunning), maxQueue: maxQueue}
+}
+
+// acquire claims a run slot, waiting in the bounded queue when all slots
+// are busy. It returns a release function on success, errQueueFull when
+// the queue is full (shed the request), or the context error when the
+// caller gave up while queued.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFn(), nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, errQueueFull
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFn(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) releaseFn() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-g.slots }) }
+}
+
+// running reports the slots currently held.
+func (g *gate) running() int { return len(g.slots) }
+
+// queued reports the requests waiting for a slot.
+func (g *gate) queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker trips the service from full GA searches to the cheap heuristic
+// fallback when searches fail repeatedly (quarantined candidates, stalls,
+// errors). Closed: all requests search. Open: no request searches until
+// the cooldown elapses — callers get the degraded fallback instead of
+// piling onto a failing dependency. Half-open: exactly one probe search
+// runs; success closes the breaker, failure reopens it for another
+// cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	obs       telemetry.Recorder
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, obs telemetry.Recorder) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, obs: obs}
+}
+
+// allow reports whether a request may run a real search; probe marks the
+// single half-open trial whose outcome decides the breaker's fate.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.transition(breakerHalfOpen, "cooldown elapsed")
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record feeds one search outcome back. Probe outcomes resolve the
+// half-open trial; ordinary failures accumulate toward the trip threshold.
+func (b *breaker) record(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if success {
+			b.consecutive = 0
+			b.transition(breakerClosed, "probe succeeded")
+		} else {
+			b.openedAt = b.now()
+			b.transition(breakerOpen, "probe failed")
+		}
+		return
+	}
+	if success {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerClosed && b.consecutive >= b.threshold {
+		b.openedAt = b.now()
+		b.transition(breakerOpen, "failure threshold")
+	}
+}
+
+// state1 returns the current state for health reporting.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition flips the state and emits the telemetry event. Callers hold
+// b.mu.
+func (b *breaker) transition(to breakerState, reason string) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.obs != nil {
+		b.obs.Event(telemetry.BreakerState{From: from.String(), To: to.String(), Reason: reason})
+	}
+}

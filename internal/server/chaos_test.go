@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// The chaos suite drives the server against deterministic injected faults
+// and asserts the robustness contracts from the design: explicit load
+// shedding, breaker fallback instead of errors, zero-loss drain, and
+// byte-identical responses across cache miss, bypass and hit.
+
+func TestChaosLoadSheddingUnderStall(t *testing.T) {
+	// Every evaluation stalls until its context is done, so one request
+	// pins the single run slot until its deadline expires.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.EvalStall, Action: faultinject.Stall,
+	})
+	s, ts, cap := testServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    -1, // no queue: the second request is shed at once
+		StallTimeout:  time.Minute,
+		RetryAfter:    3 * time.Second,
+		Faults:        faults,
+	})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	first := make(chan result, 1)
+	go func() {
+		st, body, _ := post(t, ts.URL, `{"kernel":"MM","size":32,"cache":"8k","seed":1,"timeoutMs":600}`)
+		first <- result{st, body}
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 })
+
+	st, body, hdr := post(t, ts.URL, `{"kernel":"MM","size":32,"cache":"8k","seed":2,"timeoutMs":600}`)
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("overload request: status %d body %s, want 429", st, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want 3", got)
+	}
+
+	// The stalled request still answers: the deadline degrades it to its
+	// best-so-far tile instead of an error.
+	r1 := <-first
+	if r1.status != http.StatusOK {
+		t.Fatalf("stalled request: status %d body %s, want 200", r1.status, r1.body)
+	}
+	var resp TileResponse
+	if err := json.Unmarshal(r1.body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tile) == 0 {
+		t.Fatalf("stalled request returned no tile: %+v", resp)
+	}
+	if resp.Stopped != "deadline" {
+		t.Fatalf("stalled request stopped = %q, want deadline", resp.Stopped)
+	}
+
+	shed := 0
+	for _, e := range cap.Events() {
+		if rs, ok := e.(telemetry.RequestShed); ok {
+			if rs.Reason != "queue_full" {
+				t.Fatalf("shed reason %q, want queue_full", rs.Reason)
+			}
+			shed++
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("RequestShed events = %d, want 1", shed)
+	}
+}
+
+func TestChaosInjectedAcceptFault(t *testing.T) {
+	// server.accept firing sheds the request as if the queue were full,
+	// without any real overload.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.ServerAccept, Action: faultinject.Error, Times: 1,
+	})
+	_, ts, cap := testServer(t, Config{Faults: faults})
+
+	st, _, hdr := post(t, ts.URL, fastRequest)
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("injected-fault request: status %d, want 429", st)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// The fault fires once; the retry succeeds.
+	st, _, _ = post(t, ts.URL, fastRequest)
+	if st != http.StatusOK {
+		t.Fatalf("retry after injected fault: status %d, want 200", st)
+	}
+	for _, e := range cap.Events() {
+		if rs, ok := e.(telemetry.RequestShed); ok && rs.Reason == "injected" {
+			return
+		}
+	}
+	t.Fatal("no RequestShed{injected} event recorded")
+}
+
+func TestChaosBreakerServesFallback(t *testing.T) {
+	// Every evaluation batch quarantines one candidate, so every search
+	// completes degraded and counts as a breaker failure. After two, the
+	// breaker opens and the third request gets the heuristic fallback tile
+	// instead of an error.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.EvalPanic, Action: faultinject.Panic,
+	})
+	_, ts, cap := testServer(t, Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // stays open for the whole test
+		Faults:           faults,
+	})
+
+	for i, seed := range []int{1, 2} {
+		req := fmt.Sprintf(`{"kernel":"MM","size":32,"cache":"8k","seed":%d,"maxEvaluations":30,"timeoutMs":30000}`, seed)
+		st, body, _ := post(t, ts.URL, req)
+		if st != http.StatusOK {
+			t.Fatalf("degraded request %d: status %d body %s, want 200", i, st, body)
+		}
+		var r TileResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Degraded || r.Fallback || r.Quarantined == 0 || len(r.Tile) == 0 {
+			t.Fatalf("degraded request %d: %+v, want degraded search with quarantined evals", i, r)
+		}
+	}
+
+	st, body, _ := post(t, ts.URL, `{"kernel":"MM","size":32,"cache":"8k","seed":3,"maxEvaluations":30,"timeoutMs":30000}`)
+	if st != http.StatusOK {
+		t.Fatalf("fallback request: status %d body %s, want 200", st, body)
+	}
+	var r TileResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Fallback || !r.Degraded || r.Stopped != "fallback" || len(r.Tile) == 0 {
+		t.Fatalf("fallback response %+v, want breaker-served heuristic tile", r)
+	}
+	if r.Before != nil || r.After != nil {
+		t.Fatalf("fallback response carries estimates: %+v (no search ran)", r)
+	}
+
+	tripped := false
+	for _, e := range cap.Events() {
+		if bs, ok := e.(telemetry.BreakerState); ok && bs.From == "closed" && bs.To == "open" {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("no closed>open BreakerState event recorded")
+	}
+}
+
+func TestChaosDrainLosesNoAcceptedRequest(t *testing.T) {
+	// A request whose search blocks forever is accepted, then the server
+	// is drained with a short grace. The forced drain cancels the search
+	// and the request still gets a 200 with a decodable best-so-far tile.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.EvalStall, Action: faultinject.Stall,
+	})
+	s, ts, cap := testServer(t, Config{
+		MaxConcurrent: 1,
+		StallTimeout:  time.Minute,
+		Faults:        faults,
+	})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		st, body, _ := post(t, ts.URL, `{"kernel":"MM","size":32,"cache":"8k","seed":9,"timeoutMs":30000}`)
+		inflight <- result{st, body}
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 })
+
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.Drain(dctx) // returns only once the accepted request is answered
+
+	r := <-inflight
+	if r.status != http.StatusOK {
+		t.Fatalf("drained request: status %d body %s, want 200", r.status, r.body)
+	}
+	var resp TileResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tile) == 0 {
+		t.Fatalf("forced drain lost the request's tile: %+v", resp)
+	}
+	if resp.Stopped != "cancelled" {
+		t.Fatalf("drained request stopped = %q, want cancelled", resp.Stopped)
+	}
+
+	st, _, _ := post(t, ts.URL, fastRequest)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", st)
+	}
+
+	drained := false
+	for _, e := range cap.Events() {
+		if d, ok := e.(telemetry.ServerDrained); ok {
+			if d.InFlight != 1 || !d.Forced {
+				t.Fatalf("ServerDrained = %+v, want InFlight 1, Forced true", d)
+			}
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatal("no ServerDrained event recorded")
+	}
+}
+
+func TestChaosCacheFaultByteIdenticalResponses(t *testing.T) {
+	// cache.get fails on exactly the second request, forcing a full
+	// recompute. Determinism makes all three responses — miss, bypass,
+	// hit — byte-identical.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.CacheGet, Action: faultinject.Error, After: 2, Times: 1,
+	})
+	_, ts, _ := testServer(t, Config{Faults: faults})
+
+	var bodies [][]byte
+	wantSource := []string{"miss", "bypass", "hit"}
+	for i := 0; i < 3; i++ {
+		st, body, hdr := post(t, ts.URL, fastRequest)
+		if st != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, st, body)
+		}
+		if got := hdr.Get("X-Tilingd-Cache"); got != wantSource[i] {
+			t.Fatalf("request %d: cache header %q, want %q", i, got, wantSource[i])
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) || !bytes.Equal(bodies[0], bodies[2]) {
+		t.Fatalf("responses differ across miss/bypass/hit:\n%s\n%s\n%s", bodies[0], bodies[1], bodies[2])
+	}
+}
+
+func TestChaosConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	// The leader's first evaluation batch stalls briefly, holding the
+	// search open long enough for the identical second request to ride
+	// along on the singleflight instead of searching again.
+	faults := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.EvalStall, Action: faultinject.Stall,
+		Stall: 300 * time.Millisecond, Times: 1,
+	})
+	s, ts, _ := testServer(t, Config{MaxConcurrent: 2, Faults: faults})
+
+	type result struct {
+		body   []byte
+		source string
+	}
+	results := make([]result, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, body, hdr := post(t, ts.URL, fastRequest)
+		results[0] = result{body, hdr.Get("X-Tilingd-Cache")}
+	}()
+	waitFor(t, func() bool { return s.InFlight() == 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, body, hdr := post(t, ts.URL, fastRequest)
+		results[1] = result{body, hdr.Get("X-Tilingd-Cache")}
+	}()
+	wg.Wait()
+
+	if !bytes.Equal(results[0].body, results[1].body) {
+		t.Fatalf("coalesced responses differ:\n%s\n%s", results[0].body, results[1].body)
+	}
+	if results[0].source != "miss" {
+		t.Fatalf("leader cache header %q, want miss", results[0].source)
+	}
+	// The follower coalesces; on a slow machine it may instead land after
+	// the leader cached, which is a hit — both mean "no second search ran".
+	if results[1].source != "coalesced" && results[1].source != "hit" {
+		t.Fatalf("follower cache header %q, want coalesced or hit", results[1].source)
+	}
+}

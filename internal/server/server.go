@@ -1,0 +1,429 @@
+// Package server implements tilingd: a long-running HTTP/JSON service
+// that answers tiling requests (kernel + cache geometry + search bounds)
+// with near-optimal tile sizes from the CME+GA search. Robustness is the
+// design centre:
+//
+//   - a bounded admission gate sheds load explicitly (429 + Retry-After)
+//     instead of queueing without bound;
+//   - every request carries a deadline mapped onto the search runtime's
+//     budget machinery, so an expensive search returns its best-so-far
+//     tile instead of timing out empty-handed;
+//   - a singleflight-deduplicated LRU cache serves repeated requests the
+//     exact bytes of the first answer (fixed-seed searches are
+//     deterministic, so cache hits are byte-identical to misses);
+//   - a circuit breaker takes the GA out of rotation when searches fail
+//     repeatedly and serves the capacity-heuristic fallback tile, tagged
+//     degraded, until a half-open probe proves the search healthy again;
+//   - a graceful drain answers every accepted in-flight request before
+//     the process exits, cancelling stragglers down to their best-so-far
+//     results when the grace period runs out.
+//
+// The package depends only on the telemetry Recorder interface; the
+// tilingd command wires concrete sinks (JSONL, expvar) on the outside.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the server's robustness machinery. The zero value is
+// usable: every field has a production-shaped default.
+type Config struct {
+	// MaxConcurrent bounds the searches running at once
+	// (0 = min(4, NumCPU)); each search fans out its own evaluation
+	// workers, so this is intentionally small.
+	MaxConcurrent int
+	// QueueDepth bounds the requests waiting for a run slot (0 = 64).
+	// A request arriving past the queue is shed with 429.
+	QueueDepth int
+	// DefaultTimeout is the per-request search deadline when the request
+	// names none (0 = 30s); MaxTimeout caps what a request may ask for
+	// (0 = 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// StallTimeout arms the per-evaluation watchdog on every search
+	// (0 = 10s); a stuck evaluation is quarantined, not waited on.
+	StallTimeout time.Duration
+	// CacheEntries bounds the LRU result cache (0 = 512).
+	CacheEntries int
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker (0 = 5); BreakerCooldown is how long it stays open
+	// before a half-open probe (0 = 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryAfter is the hint returned with shed responses (0 = 1s).
+	RetryAfter time.Duration
+	// Observer receives the server's request lifecycle events and every
+	// search's telemetry. It must be safe for concurrent use: parallel
+	// requests share it. Nil disables telemetry.
+	Observer telemetry.Recorder
+	// Faults arms deterministic fault injection (server.accept, cache.get,
+	// plus the search-pipeline points via the request context). Nil in
+	// production.
+	Faults *faultinject.Plan
+	// Now is the clock (nil = time.Now); tests inject a fake to step the
+	// breaker cooldown.
+	Now func() time.Time
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = min(4, runtime.NumCPU())
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 10 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the tiling service. Create with New, expose Handler on an
+// http.Server, and call Drain before exiting.
+type Server struct {
+	cfg     Config
+	gate    *gate
+	cache   *resultCache
+	flight  *flightGroup
+	breaker *breaker
+	reqID   atomic.Uint64
+
+	// mu serializes admission against Drain: a request is either counted
+	// in wg before the drain flips draining, or rejected after.
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+
+	// searchCtx governs every search's lifetime: it carries the fault
+	// plan and is cancelled only by a forced drain, so searches survive
+	// individual client disconnects (their results are cached for the
+	// next caller) but stop — at their best-so-far — when the process
+	// must exit.
+	searchCtx    context.Context
+	cancelSearch context.CancelFunc
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(faultinject.With(context.Background(), cfg.Faults))
+	return &Server{
+		cfg:          cfg,
+		gate:         newGate(cfg.MaxConcurrent, cfg.QueueDepth),
+		cache:        newResultCache(cfg.CacheEntries),
+		flight:       newFlightGroup(),
+		breaker:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now, cfg.Observer),
+		searchCtx:    ctx,
+		cancelSearch: cancel,
+	}
+}
+
+// Handler returns the service's HTTP surface: POST /v1/tile and
+// GET /healthz. The command additionally mounts /debug/vars.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tile", s.handleTile)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// emit forwards one event to the observer, if any.
+func (s *Server) emit(e telemetry.Event) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Event(e)
+	}
+}
+
+// shed rejects a request at admission with the shedding status and a
+// Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, status int, reason string) {
+	s.emit(telemetry.RequestShed{Reason: reason})
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeJSON(w, status, errorResponse{Error: "overloaded: " + reason})
+}
+
+// admit runs the admission decision for one request: drain check, the
+// injectable accept fault, then the bounded gate. On success the request
+// is registered in the drain WaitGroup and holds a run slot; finish must
+// be called exactly once.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (finish func(), ok bool) {
+	if err := s.cfg.Faults.Fire(r.Context(), faultinject.ServerAccept); err != nil {
+		s.shed(w, http.StatusTooManyRequests, "injected")
+		return nil, false
+	}
+	release, err := s.gate.acquire(r.Context())
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.shed(w, http.StatusTooManyRequests, "queue_full")
+		return nil, false
+	case err != nil:
+		// The client gave up while queued; nothing useful to send.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client cancelled while queued"})
+		return nil, false
+	}
+	// The slot is held. Register against drain — or, if a drain began
+	// while this request was queued, give the slot back and reject: the
+	// drain contract covers requests accepted before it started.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		release()
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	return func() {
+		release()
+		s.wg.Done()
+	}, true
+}
+
+// handleTile answers POST /v1/tile.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	started := s.cfg.Now()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req TileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	norm, err := s.normalize(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	finish, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer finish()
+	id := s.reqID.Add(1)
+	s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
+
+	// Result cache first: a hit answers without touching the breaker or
+	// the search pipeline. The cache.get fault point forces the miss path
+	// so chaos runs can prove hit/miss byte-identity.
+	source := "miss"
+	if err := s.cfg.Faults.Fire(r.Context(), faultinject.CacheGet); err != nil {
+		source = "bypass"
+	} else if body, hit := s.cache.get(norm.key); hit {
+		s.respond(w, id, started, body, "ok", "hit")
+		return
+	}
+
+	res, shared, err := s.flight.do(norm.key, func() (computed, error) {
+		return s.compute(norm)
+	})
+	if err != nil {
+		s.emit(telemetry.RequestDone{ID: id, Outcome: "error", Elapsed: s.cfg.Now().Sub(started)})
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if res.cacheable && source != "bypass" {
+		s.cache.put(norm.key, res.body)
+	}
+	if shared {
+		source = "coalesced"
+	}
+	s.respond(w, id, started, res.body, res.outcome, source)
+}
+
+// respond writes one 200 answer and closes the request's telemetry.
+func (s *Server) respond(w http.ResponseWriter, id uint64, started time.Time, body []byte, outcome, source string) {
+	s.emit(telemetry.RequestDone{
+		ID: id, Outcome: outcome, CacheHit: source == "hit",
+		Elapsed: s.cfg.Now().Sub(started),
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tilingd-Cache", source)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// compute produces the response for one cache miss: a real search when the
+// breaker allows it, the heuristic fallback when it does not.
+func (s *Server) compute(norm *normRequest) (computed, error) {
+	allowed, probe := s.breaker.allow()
+	if !allowed {
+		return s.fallback(norm)
+	}
+	resp, failure, err := s.search(norm)
+	s.breaker.record(err == nil && !failure, probe)
+	if err != nil {
+		return computed{}, err
+	}
+	body := mustJSON(resp)
+	if failure {
+		return computed{body: body, outcome: "degraded", failure: true}, nil
+	}
+	return computed{body: body, outcome: "ok", cacheable: true}, nil
+}
+
+// search runs the GA search for the request. failure reports a completed
+// but degraded run (quarantined evaluations) — it counts against the
+// breaker like an error, but still yields a usable best-so-far response.
+func (s *Server) search(norm *normRequest) (*TileResponse, bool, error) {
+	opt := norm.options(s)
+	resp := &TileResponse{Kernel: norm.kernelName, Mode: norm.mode}
+	var quarantined int
+	switch norm.mode {
+	case "order":
+		res, err := core.OptimizeTilingOrder(s.searchCtx, norm.nest, opt)
+		if err != nil {
+			return nil, true, err
+		}
+		resp.Tile, resp.Order, resp.Stopped = res.Tile, res.Order, res.Stopped.String()
+		resp.Generations, resp.Evaluations = res.GA.Generations, res.GA.Evaluations
+		resp.Before, resp.After = ratio(res.Before), ratio(res.After)
+		quarantined = len(res.Quarantined)
+	default:
+		res, err := core.OptimizeTiling(s.searchCtx, norm.nest, opt)
+		if err != nil {
+			return nil, true, err
+		}
+		resp.Tile, resp.Stopped = res.Tile, res.Stopped.String()
+		resp.Generations, resp.Evaluations = res.GA.Generations, res.GA.Evaluations
+		resp.Before, resp.After = ratio(res.Before), ratio(res.After)
+		quarantined = len(res.Quarantined)
+	}
+	resp.Quarantined = quarantined
+	resp.Degraded = quarantined > 0
+	return resp, resp.Degraded, nil
+}
+
+// fallback answers with the search-free capacity-heuristic tile, tagged
+// degraded — the service stays available while the breaker is open.
+func (s *Server) fallback(norm *normRequest) (computed, error) {
+	tile, err := core.HeuristicTile(norm.nest, norm.cacheCfg)
+	if err != nil {
+		return computed{}, err
+	}
+	resp := &TileResponse{
+		Kernel: norm.kernelName, Mode: norm.mode, Tile: tile,
+		Stopped: "fallback", Degraded: true, Fallback: true,
+	}
+	return computed{body: mustJSON(resp), outcome: "fallback"}, nil
+}
+
+// health is the /healthz body.
+type health struct {
+	Status   string `json:"status"`
+	Breaker  string `json:"breaker"`
+	InFlight int    `json:"inFlight"`
+	Queued   int    `json:"queued"`
+}
+
+// handleHealth answers GET /healthz: 200 while serving, 503 while
+// draining (so load balancers stop routing here), with the breaker state
+// and load visible either way.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := health{
+		Status:   "ok",
+		Breaker:  s.breaker.current().String(),
+		InFlight: s.gate.running(),
+		Queued:   s.gate.queued(),
+	}
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// InFlight reports the requests currently holding run slots.
+func (s *Server) InFlight() int { return s.gate.running() }
+
+// Drain gracefully stops the server: new requests are rejected with 503,
+// and every already-accepted request is answered. When ctx expires before
+// the in-flight searches finish naturally, they are cancelled — the
+// bounded-search runtime turns that into best-so-far responses, so even a
+// forced drain loses no accepted request. Drain is idempotent; it returns
+// once every accepted request has been answered.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	inFlight := s.gate.running() + s.gate.queued()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	forced := false
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: cancel the searches; they stop at the next
+		// candidate boundary and still answer with their best-so-far.
+		forced = true
+		s.cancelSearch()
+		<-done
+	}
+	if first {
+		s.emit(telemetry.ServerDrained{InFlight: inFlight, Forced: forced})
+	}
+}
+
+// writeJSON writes one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(mustJSON(v))
+}

@@ -25,6 +25,16 @@ import (
 //	<name>.searches             completed searches (search_stop events)
 //	<name>.generations          completed GA generations
 //
+// A server feeding the sink additionally populates the service counters:
+//
+//	<name>.requests_accepted    requests admitted past the admission gate
+//	<name>.requests_shed        requests rejected at admission (429/503)
+//	<name>.requests_done        accepted requests answered
+//	<name>.cache_hits           responses served from the result cache
+//	<name>.degraded_responses   degraded or fallback responses served
+//	<name>.breaker_trips        circuit-breaker closed/half-open -> open
+//	<name>.drains               completed graceful drains
+//
 // where <name>.x is a key of the expvar map registered under <name>.
 // Safe for concurrent use (expvar.Map is atomic).
 type Expvar struct {
@@ -48,11 +58,29 @@ func NewExpvar(name string) *Expvar {
 func (x *Expvar) Event(e telemetry.Event) {
 	x.m.Add("events", 1)
 	x.m.Add("events."+string(e.Kind()), 1)
-	switch e.(type) {
+	switch e := e.(type) {
 	case telemetry.GenerationDone:
 		x.m.Add("generations", 1)
 	case telemetry.SearchStop:
 		x.m.Add("searches", 1)
+	case telemetry.RequestAccepted:
+		x.m.Add("requests_accepted", 1)
+	case telemetry.RequestShed:
+		x.m.Add("requests_shed", 1)
+	case telemetry.RequestDone:
+		x.m.Add("requests_done", 1)
+		if e.CacheHit {
+			x.m.Add("cache_hits", 1)
+		}
+		if e.Outcome == "degraded" || e.Outcome == "fallback" {
+			x.m.Add("degraded_responses", 1)
+		}
+	case telemetry.BreakerState:
+		if e.To == "open" {
+			x.m.Add("breaker_trips", 1)
+		}
+	case telemetry.ServerDrained:
+		x.m.Add("drains", 1)
 	}
 }
 

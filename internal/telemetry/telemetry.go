@@ -44,6 +44,13 @@ const (
 	// checkpoint was replaced by its rotated previous-good copy.
 	KindEvaluationQuarantined Kind = "evaluation_quarantined"
 	KindCheckpointRecovered   Kind = "checkpoint_recovered"
+	// The server events: the admission, cache, degradation and drain
+	// lifecycle of one tiling-service request (emitted by internal/server).
+	KindRequestAccepted Kind = "request_accepted"
+	KindRequestShed     Kind = "request_shed"
+	KindRequestDone     Kind = "request_done"
+	KindBreakerState    Kind = "breaker_state"
+	KindServerDrained   Kind = "server_drained"
 )
 
 // Event is one typed occurrence in a search's life. The concrete types are
@@ -175,6 +182,74 @@ type CheckpointRecovered struct {
 
 // Kind implements Event.
 func (CheckpointRecovered) Kind() Kind { return KindCheckpointRecovered }
+
+// RequestAccepted reports a tiling-service request admitted past the
+// admission gate (it may still wait in the bounded queue for a slot).
+type RequestAccepted struct {
+	// ID is the server-assigned monotonic request id.
+	ID uint64
+	// Kernel names the requested nest (catalog name or "inline").
+	Kernel string
+	// Mode is the requested search mode ("tile", "order").
+	Mode string
+}
+
+// Kind implements Event.
+func (RequestAccepted) Kind() Kind { return KindRequestAccepted }
+
+// RequestShed reports a request rejected at admission: the queue was full
+// (load shedding, HTTP 429), the server was draining (503), or the
+// server.accept fault point fired in a chaos run.
+type RequestShed struct {
+	// Reason is "queue_full", "draining" or "injected".
+	Reason string
+}
+
+// Kind implements Event.
+func (RequestShed) Kind() Kind { return KindRequestShed }
+
+// RequestDone closes one accepted request with its outcome.
+type RequestDone struct {
+	// ID matches the RequestAccepted event.
+	ID uint64
+	// Outcome is "ok", "degraded" (search completed with quarantined
+	// evaluations), "fallback" (breaker open, heuristic tile served) or
+	// "error".
+	Outcome string
+	// CacheHit reports the response was served from the result cache.
+	CacheHit bool
+	// Elapsed is wall-clock service time; deterministic sinks omit it.
+	Elapsed time.Duration
+}
+
+// Kind implements Event.
+func (RequestDone) Kind() Kind { return KindRequestDone }
+
+// BreakerState reports a circuit-breaker transition.
+type BreakerState struct {
+	// From and To are breaker states ("closed", "open", "half-open").
+	From, To string
+	// Reason is what drove the transition (e.g. "failure threshold",
+	// "cooldown elapsed", "probe succeeded").
+	Reason string
+}
+
+// Kind implements Event.
+func (BreakerState) Kind() Kind { return KindBreakerState }
+
+// ServerDrained reports a completed graceful drain: every accepted
+// in-flight request was answered before the server stopped.
+type ServerDrained struct {
+	// InFlight is how many accepted requests were still running when the
+	// drain began; all of them completed.
+	InFlight int
+	// Forced reports that the drain grace expired and the remaining
+	// searches were cancelled to their best-so-far results.
+	Forced bool
+}
+
+// Kind implements Event.
+func (ServerDrained) Kind() Kind { return KindServerDrained }
 
 // SearchStop closes a search's event stream with its outcome.
 type SearchStop struct {

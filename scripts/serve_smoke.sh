@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end smoke test for tilingd: build, start on a free port, probe
+# /healthz, run one real tiling request, verify the cache answers the
+# repeat byte-identically, then SIGTERM and require a clean drained exit.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building tilingd"
+go build -o "$workdir/tilingd" ./cmd/tilingd
+
+"$workdir/tilingd" -addr 127.0.0.1:0 -default-timeout 10s 2>"$workdir/log" &
+daemon_pid=$!
+
+# The daemon prints "tilingd: listening on 127.0.0.1:PORT" once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^tilingd: listening on //p' "$workdir/log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "serve-smoke: daemon died:"; cat "$workdir/log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: daemon never reported its address:"
+    cat "$workdir/log"
+    exit 1
+fi
+echo "serve-smoke: daemon up at $addr"
+
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' || {
+    echo "serve-smoke: health probe failed"; exit 1; }
+
+req='{"kernel":"MM","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000}'
+curl -fsS -o "$workdir/resp1" "http://$addr/v1/tile" -d "$req"
+grep -q '"tile":\[' "$workdir/resp1" || {
+    echo "serve-smoke: response carries no tile:"; cat "$workdir/resp1"; exit 1; }
+echo "serve-smoke: got tiling $(cat "$workdir/resp1")"
+
+# The identical request must be a byte-identical cache hit.
+curl -fsS -o "$workdir/resp2" "http://$addr/v1/tile" -d "$req"
+cmp -s "$workdir/resp1" "$workdir/resp2" || {
+    echo "serve-smoke: cache hit differs from miss"; exit 1; }
+
+curl -fsS "http://$addr/debug/vars" | grep -q 'requests_accepted' || {
+    echo "serve-smoke: expvar counters missing"; exit 1; }
+
+echo "serve-smoke: draining"
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+    echo "serve-smoke: daemon exited $status after SIGTERM:"
+    cat "$workdir/log"
+    exit 1
+fi
+grep -q 'drained, exiting' "$workdir/log" || {
+    echo "serve-smoke: no drain message in log:"; cat "$workdir/log"; exit 1; }
+echo "serve-smoke: ok"
