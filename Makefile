@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz bench-json depcheck chaos lint serve-smoke
+.PHONY: verify build test vet race fuzz bench-json depcheck chaos lint serve-smoke islands
 
-verify: vet build depcheck lint race chaos
+verify: vet build depcheck lint race chaos islands
 
 # Static analysis beyond vet. Both tools are optional: they are skipped
 # with a note when not installed (the container image does not bake them
@@ -65,11 +65,18 @@ chaos:
 	$(GO) test ./internal/faultinject ./internal/retry
 	$(GO) test -race -run 'Chaos|Corrupt' . ./internal/server
 
-# Point-solver and evaluation microbenchmarks, recorded as a JSON
-# trajectory file so perf changes are tracked PR over PR.
-BENCH_OUT ?= BENCH_pr3.json
+# Island-model invariance bar: determinism at every island count, the
+# Islands=1 ≡ single-population equivalence, and checkpoint/resume
+# replay, all under the race detector (demes evolve on concurrent
+# goroutines, so this is where scheduling races would surface).
+islands:
+	$(GO) test -race -run 'Island' . ./internal/ga ./internal/core
+
+# Point-solver, evaluation and search microbenchmarks, recorded as a
+# JSON trajectory file so perf changes are tracked PR over PR.
+BENCH_OUT ?= BENCH_pr7.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel|IslandSearch' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz sweeps over the structured-input entry points.
 fuzz:

@@ -335,6 +335,37 @@ func BenchmarkGASearch(b *testing.B) {
 	}
 }
 
+// BenchmarkIslandSearch compares single-population and island-model wall
+// clock at an equal evaluation budget. Workers is pinned to 1 so every
+// scrap of parallelism comes from the demes themselves: the multi-island
+// run should beat the single-island run on any multi-core host.
+func BenchmarkIslandSearch(b *testing.B) {
+	k, _ := kernels.Get("MM")
+	nest, err := k.Instance(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, islands := range []int{1, 4} {
+		b.Run(fmt.Sprintf("islands=%d", islands), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.OptimizeTiling(context.Background(), nest, core.Options{
+					Cache:          cache.DM8K,
+					Seed:           42,
+					Workers:        1,
+					Islands:        islands,
+					SamplePoints:   164,
+					MaxEvaluations: 600,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.After.ReplacementRatio, "repl%/after")
+				b.ReportMetric(float64(res.GA.Evaluations), "evaluations")
+			}
+		})
+	}
+}
+
 // --- ablations -------------------------------------------------------------
 
 // BenchmarkAblationPopulation varies the GA population size around the

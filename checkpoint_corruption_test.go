@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -145,6 +146,111 @@ func TestCorruptionSumlessLegacyAccepted(t *testing.T) {
 	}
 	if got.Gen != c.Gen {
 		t.Fatalf("legacy read mangled state: gen %d vs %d", got.Gen, c.Gen)
+	}
+}
+
+// islandCkptFixture runs a short 2-island search, capturing every barrier
+// snapshot through its serialised round trip, and returns the snapshots,
+// the uninterrupted result and the nest.
+func islandCkptFixture(t *testing.T) ([]*cmetiling.Checkpoint, *cmetiling.TilingResult, *cmetiling.Nest) {
+	t.Helper()
+	k, ok := cmetiling.GetKernel("MM")
+	if !ok {
+		t.Fatal("MM missing from catalog")
+	}
+	nest, err := k.Instance(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*cmetiling.Checkpoint
+	opt := cmetiling.Options{
+		Cache: cmetiling.DM8K, Seed: 3, SamplePoints: 64, Islands: 2,
+		Checkpoint: func(c *cmetiling.Checkpoint) error {
+			var buf bytes.Buffer
+			if err := cmetiling.WriteCheckpoint(&buf, c); err != nil {
+				return err
+			}
+			cp, err := cmetiling.ReadCheckpoint(&buf)
+			if err != nil {
+				return err
+			}
+			snaps = append(snaps, cp)
+			return nil
+		},
+	}
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("island search produced no checkpoints")
+	}
+	return snaps, res, nest
+}
+
+// TestIslandCheckpointResumeReplaysExactly: resuming a 2-island search
+// from a mid-run barrier snapshot — including one taken between migration
+// rounds — reproduces the uninterrupted search bit-for-bit.
+func TestIslandCheckpointResumeReplaysExactly(t *testing.T) {
+	snaps, want, nest := islandCkptFixture(t)
+	for _, i := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+		opt := cmetiling.Options{
+			Cache: cmetiling.DM8K, Seed: 3, SamplePoints: 64, Islands: 2,
+			ResumeFrom: snaps[i],
+		}
+		got, err := cmetiling.OptimizeTiling(context.Background(), nest, opt)
+		if err != nil {
+			t.Fatalf("resume from snapshot %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Tile, want.Tile) || !reflect.DeepEqual(got.GA, want.GA) {
+			t.Fatalf("resume from snapshot %d diverged:\ntile %v vs %v\nGA %+v vs %+v",
+				i, got.Tile, want.Tile, got.GA, want.GA)
+		}
+	}
+}
+
+// TestCorruptionIslandCountMismatchRejected: a 2-island snapshot refuses
+// to resume a search configured for a different island count, and refuses
+// the single-population path entirely (version mismatch).
+func TestCorruptionIslandCountMismatchRejected(t *testing.T) {
+	snaps, _, nest := islandCkptFixture(t)
+	snap := snaps[len(snaps)-1]
+	opt := cmetiling.Options{
+		Cache: cmetiling.DM8K, Seed: 3, SamplePoints: 64, Islands: 3,
+		ResumeFrom: snap,
+	}
+	if _, err := cmetiling.OptimizeTiling(context.Background(), nest, opt); err == nil ||
+		!strings.Contains(err.Error(), "islands") {
+		t.Fatalf("island-count mismatch not rejected: %v", err)
+	}
+	opt.Islands = 0
+	if _, err := cmetiling.OptimizeTiling(context.Background(), nest, opt); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("single-population resume of v2 snapshot not rejected: %v", err)
+	}
+}
+
+// TestCorruptionIslandPayloadBitFlipCaught: the integrity sum covers the
+// per-island payload of a version-2 snapshot too.
+func TestCorruptionIslandPayloadBitFlipCaught(t *testing.T) {
+	snaps, _, _ := islandCkptFixture(t)
+	b := ckptBytes(t, snaps[len(snaps)-1])
+	re := regexp.MustCompile(`"best_value": (\d)`)
+	m := re.FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("no best_value field in island checkpoint:\n%.200s", b)
+	}
+	flipped := byte('2')
+	if m[1][0] == '2' {
+		flipped = '3'
+	}
+	mut := re.ReplaceAll(b, []byte(`"best_value": `+string(flipped)))
+	if bytes.Equal(mut, b) {
+		t.Fatal("mutation was a no-op")
+	}
+	if _, err := cmetiling.ReadCheckpoint(bytes.NewReader(mut)); err == nil ||
+		!strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("island payload bit flip not caught: %v", err)
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-search deadline (0 = unbounded)")
 		budget   = flag.Int("budget", 0, "per-search evaluation budget (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes results")
+		islands  = flag.Int("islands", 0, "GA islands per search, evolving concurrently with elite migration (0/1 = single population)")
 		traceOut = flag.String("trace-out", "", "append the telemetry event stream of every search to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
@@ -71,7 +72,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget, Workers: *workers,
-		StallTimeout: *stall,
+		Islands: *islands, StallTimeout: *stall,
 	}
 	var err error
 	cfg.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)

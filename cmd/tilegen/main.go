@@ -46,6 +46,7 @@ func main() {
 		resume   = flag.String("resume", "", "resume the search from this checkpoint file")
 		progress = flag.Bool("progress", false, "print per-generation progress to stderr")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the result")
+		islands  = flag.Int("islands", 0, "GA islands evolving concurrently with elite migration (0/1 = single population); deterministic per seed")
 		traceOut = flag.String("trace-out", "", "append the search's telemetry event stream to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
@@ -96,7 +97,7 @@ func main() {
 	opt := cmetiling.Options{
 		Cache: cfg, Seed: *seed, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget,
-		Workers: *workers, StallTimeout: *stall,
+		Workers: *workers, Islands: *islands, StallTimeout: *stall,
 	}
 	opt.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)
 	if err != nil {
@@ -116,8 +117,12 @@ func main() {
 	var degraded []string
 	if *progress {
 		opt.Progress = func(p cmetiling.Progress) {
-			fmt.Fprintf(os.Stderr, "gen %2d  best %.6g  evals %d  %v\n",
-				p.Gen, p.BestEver, p.Evaluations, p.Elapsed.Round(time.Millisecond))
+			prefix := ""
+			if p.Island > 0 {
+				prefix = fmt.Sprintf("[i%d] ", p.Island)
+			}
+			fmt.Fprintf(os.Stderr, "%sgen %2d  best %.6g  evals %d  %v\n",
+				prefix, p.Gen, p.BestEver, p.Evaluations, p.Elapsed.Round(time.Millisecond))
 		}
 	}
 	var recorders []cmetiling.Recorder

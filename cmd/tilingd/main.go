@@ -45,6 +45,7 @@ func main() {
 		brkCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker serves fallback tilings before probing")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace: searches still running after this are cancelled to best-so-far")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		islands    = flag.Int("islands", 0, "default GA island count for requests that name none (0 = single population)")
 		traceOut   = flag.String("trace-out", "", "append the server and search telemetry event stream to this JSONL file")
 		faultF     = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;server.accept:times=2' (chaos testing)")
 		version    = cliutil.VersionFlag()
@@ -88,6 +89,7 @@ func main() {
 		BreakerThreshold: *brkFails,
 		BreakerCooldown:  *brkCool,
 		RetryAfter:       *retryAfter,
+		DefaultIslands:   *islands,
 		Observer:         cmetiling.MultiRecorder(recorders...),
 		Faults:           faults,
 	})

@@ -203,6 +203,9 @@ type (
 	// EvaluationBatchEvent reports one objective evaluation over the
 	// shared sample.
 	EvaluationBatchEvent = telemetry.EvaluationBatch
+	// IslandMigrationEvent reports one ring elite exchange of a
+	// multi-island search (Options.Islands > 1).
+	IslandMigrationEvent = telemetry.IslandMigration
 	// CheckpointWrittenEvent reports a persisted search snapshot.
 	CheckpointWrittenEvent = telemetry.CheckpointWritten
 	// EvaluationQuarantinedEvent reports a candidate set aside under

@@ -63,6 +63,14 @@ type Options struct {
 	// outcomes as serial evaluation, so the worker count never changes a
 	// search result — only how fast it arrives.
 	Workers int
+	// Islands splits the GA population into this many concurrently
+	// evolving demes with ring-topology elite migration (0 or 1 = the
+	// classic single population, bit-identical to earlier releases). Each
+	// island draws from its own seed-derived PCG stream and evaluates on
+	// its own analyzer pool, so any island count is deterministic for a
+	// fixed Seed at any worker count. An explicit GA.Islands setting takes
+	// precedence.
+	Islands int
 
 	// Deadline bounds the search's wall-clock time (0 = none). It is a
 	// duration from the start of the search, layered on top of whatever
@@ -146,6 +154,18 @@ func (o Options) Validate() error {
 	if o.MaxEvaluations < 0 {
 		return badOption("MaxEvaluations", "%d is negative", o.MaxEvaluations)
 	}
+	if o.Islands < 0 {
+		return badOption("Islands", "%d is negative", o.Islands)
+	}
+	if o.Islands > 1 {
+		pop := o.GA.PopSize
+		if pop == 0 {
+			pop = 30 // the paper's default population
+		}
+		if pop < 2*o.Islands {
+			return badOption("Islands", "population %d cannot fill %d islands with at least 2 individuals each", pop, o.Islands)
+		}
+	}
 	if o.FailurePolicy != FailAbort && o.FailurePolicy != FailQuarantine {
 		return badOption("FailurePolicy", "unknown policy %d", int(o.FailurePolicy))
 	}
@@ -169,7 +189,7 @@ func (p progressRecorder) Event(e telemetry.Event) {
 	if g, ok := e.(telemetry.GenerationDone); ok {
 		p.fn(ga.Progress{
 			Gen: g.Gen, Best: g.Best, Avg: g.Avg, BestEver: g.BestEver,
-			Evaluations: g.Evaluations, Elapsed: g.Elapsed,
+			Evaluations: g.Evaluations, Island: g.Island, Elapsed: g.Elapsed,
 		})
 	}
 }
@@ -243,6 +263,26 @@ func (o Options) gaRuntime(cfg ga.Config, label string) ga.Config {
 	if cfg.Label == "" {
 		cfg.Label = label
 	}
+	if cfg.Islands == 0 {
+		cfg.Islands = o.Islands
+	}
+	return cfg
+}
+
+// islandRuntime arms the per-island objective forks of a multi-island GA
+// configuration: each deme gets its own evaluator fork (private analyzer
+// pool and mutex over the shared immutable sample), wrapped in the same
+// guard, so islands evaluate concurrently without serialising on one
+// pool. The forks are value-identical — same nest, sample and cache — so
+// cross-island migration and memo sharing stay sound. Single-population
+// configurations pass through untouched.
+func islandRuntime(cfg ga.Config, guard *evalGuard, label string, ev *evaluator,
+	build func(*evaluator) func([]int64) (float64, error)) ga.Config {
+	if cfg.Islands > 1 {
+		cfg.IslandObjective = func(i int) ga.Objective {
+			return guard.objective(label, build(ev.fork(i+1)))
+		}
+	}
 	return cfg
 }
 
@@ -315,6 +355,9 @@ type evaluator struct {
 	obs     telemetry.Recorder
 	// stall arms the per-evaluation watchdog (0 = disabled).
 	stall time.Duration
+	// island tags this evaluator's telemetry batches with a 1-based
+	// island index (0 = single-population search).
+	island int
 
 	// mu guards the pool: GA objectives run serially, but TileObjective
 	// escapes to arbitrary callers.
@@ -346,6 +389,18 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 		obs:     opt.Observer,
 		stall:   opt.StallTimeout,
 	}, nil
+}
+
+// fork returns an island-private view of the evaluator: its own mutex
+// and (initially empty) analyzer pool, sharing the immutable pieces —
+// nest, box, sample, cache geometry, observer — so every fork evaluates
+// the identical objective while islands run concurrently.
+func (e *evaluator) fork(island int) *evaluator {
+	return &evaluator{
+		nest: e.nest, box: e.box, cfg: e.cfg, sample: e.sample,
+		conf: e.conf, workers: e.workers, obs: e.obs, stall: e.stall,
+		island: island,
+	}
 }
 
 // analyzers returns the worker analyzer pool bound to (nest, space):
@@ -391,14 +446,14 @@ func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspac
 		}
 	}
 	if e.stall <= 0 {
-		return e.sample.EvaluateObserved(ctx, ans, e.obs)
+		return e.sample.EvaluateObservedIsland(ctx, ans, e.obs, e.island)
 	}
 	// Under the watchdog a truly hung evaluation leaks its workers, which
 	// still hold the pooled analyzers — abandon the pool (the caller holds
 	// e.mu) so the next evaluation rebuilds a fresh one.
 	return e.watchedStats(ctx, func() { e.pool, e.poolNest = nil, nil },
 		func(wctx context.Context) (cachesim.Stats, error) {
-			return e.sample.EvaluateObserved(wctx, ans, e.obs)
+			return e.sample.EvaluateObservedIsland(wctx, ans, e.obs, e.island)
 		})
 }
 
@@ -430,11 +485,11 @@ func (e *evaluator) evalFresh(ctx context.Context, an *cme.Analyzer) (cachesim.S
 		}
 	}
 	if e.stall <= 0 {
-		return e.sample.EvaluateObserved(ctx, ans, e.obs)
+		return e.sample.EvaluateObservedIsland(ctx, ans, e.obs, e.island)
 	}
 	// One-off analyzers: nothing shared to abandon on a hang.
 	return e.watchedStats(ctx, nil, func(wctx context.Context) (cachesim.Stats, error) {
-		return e.sample.EvaluateObserved(wctx, ans, e.obs)
+		return e.sample.EvaluateObservedIsland(wctx, ans, e.obs, e.island)
 	})
 }
 
@@ -499,13 +554,17 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, opt.Cache)
 	}
 	guard := opt.newGuard()
-	obj := guard.objective("tiling", func(v []int64) (float64, error) {
-		st, err := ev.tiled(ctx, nest, tileFromGenome(ev.box, v))
-		if err != nil {
-			return 0, err
+	build := func(ev *evaluator) func([]int64) (float64, error) {
+		return func(v []int64) (float64, error) {
+			st, err := ev.tiled(ctx, nest, tileFromGenome(ev.box, v))
+			if err != nil {
+				return 0, err
+			}
+			return float64(st.Replacement), nil
 		}
-		return float64(st.Replacement), nil
-	})
+	}
+	obj := guard.objective("tiling", build(ev))
+	gaCfg = islandRuntime(gaCfg, guard, "tiling", ev, build)
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -697,14 +756,18 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 		return tileFromGenome(ev.box, v[:k]), lehmerToPerm(v[k:], k)
 	}
 	guard := opt.newGuard()
-	obj := guard.objective("tiling-order", func(v []int64) (float64, error) {
-		tile, order := decode(v)
-		st, err := ev.evalSpace(ctx, nest, iterspace.NewPermutedTiled(ev.box, tile, order))
-		if err != nil {
-			return 0, err
+	build := func(ev *evaluator) func([]int64) (float64, error) {
+		return func(v []int64) (float64, error) {
+			tile, order := decode(v)
+			st, err := ev.evalSpace(ctx, nest, iterspace.NewPermutedTiled(ev.box, tile, order))
+			if err != nil {
+				return 0, err
+			}
+			return float64(st.Replacement), nil
 		}
-		return float64(st.Replacement), nil
-	})
+	}
+	obj := guard.objective("tiling-order", build(ev))
+	gaCfg = islandRuntime(gaCfg, guard, "tiling-order", ev, build)
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -822,17 +885,21 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 		gaCfg.SeedValues = [][]int64{make([]int64, len(spec.Chroms))}
 	}
 	guard := opt.newGuard()
-	obj := guard.objective("padding", func(v []int64) (float64, error) {
-		padded, err := padding.Apply(nest, decodePlan(v))
-		if err != nil {
-			return 0, err
+	build := func(ev *evaluator) func([]int64) (float64, error) {
+		return func(v []int64) (float64, error) {
+			padded, err := padding.Apply(nest, decodePlan(v))
+			if err != nil {
+				return 0, err
+			}
+			st, err := ev.untiled(ctx, padded)
+			if err != nil {
+				return 0, err
+			}
+			return float64(st.Replacement), nil
 		}
-		st, err := ev.untiled(ctx, padded)
-		if err != nil {
-			return 0, err
-		}
-		return float64(st.Replacement), nil
-	})
+	}
+	obj := guard.objective("padding", build(ev))
+	gaCfg = islandRuntime(gaCfg, guard, "padding", ev, build)
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -990,17 +1057,21 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	}
 
 	guard := opt.newGuard()
-	obj := guard.objective("joint", func(v []int64) (float64, error) {
-		padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
-		if err != nil {
-			return 0, err
+	build := func(ev *evaluator) func([]int64) (float64, error) {
+		return func(v []int64) (float64, error) {
+			padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
+			if err != nil {
+				return 0, err
+			}
+			st, err := ev.tiled(ctx, padded, tileFromGenome(ev.box, v[nPad:]))
+			if err != nil {
+				return 0, err
+			}
+			return float64(st.Replacement), nil
 		}
-		st, err := ev.tiled(ctx, padded, tileFromGenome(ev.box, v[nPad:]))
-		if err != nil {
-			return 0, err
-		}
-		return float64(st.Replacement), nil
-	})
+	}
+	obj := guard.objective("joint", build(ev))
+	gaCfg = islandRuntime(gaCfg, guard, "joint", ev, build)
 	res, err := ga.Run(ctx, joint, obj, gaCfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/ga"
+)
+
+// islandOpt is the small bounded search the island tests share.
+func islandOpt(seed uint64, islands int) Options {
+	opt := testOpt(seed)
+	opt.SamplePoints = 64
+	opt.MaxEvaluations = 200
+	opt.Islands = islands
+	return opt
+}
+
+// TestOptimizeTilingIslandsDeterministic: a fixed seed reproduces the
+// multi-island tiling search exactly, even though its demes evaluate on
+// concurrent goroutines.
+func TestOptimizeTilingIslandsDeterministic(t *testing.T) {
+	nest := transpose(64)
+	run := func() *TilingResult {
+		res, err := OptimizeTiling(context.Background(), nest, islandOpt(21, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	requireValidTiling(t, a, nest.Depth())
+	if !reflect.DeepEqual(a.Tile, b.Tile) || !reflect.DeepEqual(a.GA, b.GA) {
+		t.Fatalf("identical island runs diverged:\ntile %v vs %v\nGA %+v vs %+v",
+			a.Tile, b.Tile, a.GA, b.GA)
+	}
+}
+
+// TestIslandsWorkerCountInvariant: the worker count parallelises one
+// objective evaluation and must never change a multi-island search result.
+func TestIslandsWorkerCountInvariant(t *testing.T) {
+	nest := transpose(64)
+	var tiles [][]int64
+	var gas []ga.Result
+	for _, workers := range []int{1, 3} {
+		opt := islandOpt(9, 2)
+		opt.Workers = workers
+		res, err := OptimizeTiling(context.Background(), nest, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireValidTiling(t, res, nest.Depth())
+		tiles = append(tiles, res.Tile)
+		gas = append(gas, res.GA)
+	}
+	if !reflect.DeepEqual(tiles[0], tiles[1]) || !reflect.DeepEqual(gas[0], gas[1]) {
+		t.Fatalf("worker count changed the island search:\ntile %v vs %v\nGA %+v vs %+v",
+			tiles[0], tiles[1], gas[0], gas[1])
+	}
+}
+
+// TestIslandsOneMatchesBaseline: Options.Islands = 1 must be bit-identical
+// to the classic single-population search.
+func TestIslandsOneMatchesBaseline(t *testing.T) {
+	nest := transpose(64)
+	base, err := OptimizeTiling(context.Background(), nest, islandOpt(33, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := OptimizeTiling(context.Background(), nest, islandOpt(33, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Tile, one.Tile) || !reflect.DeepEqual(base.GA, one.GA) ||
+		base.Before != one.Before || base.After != one.After {
+		t.Fatalf("Islands=1 diverged from baseline:\ntile %v vs %v\nGA %+v vs %+v",
+			base.Tile, one.Tile, base.GA, one.GA)
+	}
+}
+
+// TestIslandsOptionsValidate: bad island counts fail fast as ErrBadOption.
+func TestIslandsOptionsValidate(t *testing.T) {
+	nest := transpose(16)
+	opt := testOpt(1)
+	opt.Islands = -1
+	if _, err := OptimizeTiling(context.Background(), nest, opt); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("Islands=-1: err = %v, want ErrBadOption", err)
+	}
+	opt.Islands = 16 // default population of 30 cannot fill 16 demes with 2 each
+	if _, err := OptimizeTiling(context.Background(), nest, opt); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("Islands=16: err = %v, want ErrBadOption", err)
+	}
+}

@@ -37,6 +37,12 @@ type Config struct {
 	// Workers bounds the evaluation fan-out per objective
 	// (0 = core.DefaultWorkers). Worker count never changes results.
 	Workers int
+	// Islands splits each search's GA population into concurrently
+	// evolving demes with elite migration (0/1 = single population).
+	// Results stay deterministic per seed for any island count, but a
+	// multi-island run follows a different search trajectory than a
+	// single-population one.
+	Islands int
 	// FailurePolicy selects how each search reacts to a broken
 	// evaluation (the zero value aborts, preserving the historical
 	// contract; core.FailQuarantine completes degraded on best-so-far).
@@ -67,6 +73,7 @@ func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 		Deadline:       c.Deadline,
 		MaxEvaluations: c.MaxEvaluations,
 		Workers:        c.Workers,
+		Islands:        c.Islands,
 		FailurePolicy:  c.FailurePolicy,
 		StallTimeout:   c.StallTimeout,
 		Observer:       c.Observer,

@@ -55,8 +55,36 @@ type Config struct {
 	// spaces with huge per-variable ranges a uniform initial population
 	// can miss the interesting region entirely; a couple of heuristic
 	// individuals give selection a foothold. At most PopSize-1 seeds are
-	// used, so the population always keeps random diversity.
+	// used, so the population always keeps random diversity; supplying
+	// more is not an error, but the excess seeds are dropped and the run
+	// reports it on Result.Warnings. With Islands > 1 the seeds are dealt
+	// round-robin across the islands, each clamped to its deme size minus
+	// one on the same terms.
 	SeedValues [][]int64
+
+	// Islands splits the population into this many demes evolved
+	// concurrently (the island model), with ring-topology elite migration
+	// every MigrationInterval generations. 0 or 1 runs the classic single
+	// population, bit-identical to previous releases. Each island owns a
+	// PCG stream derived from Seed1/Seed2 and its island index alone, so
+	// a run is bit-reproducible for a fixed seed at any island count, and
+	// demes advance between barriers independent of goroutine scheduling.
+	Islands int
+	// MigrationInterval is the number of generations each island evolves
+	// between migration barriers (0 = 5).
+	MigrationInterval int
+	// MigrationCount is how many elite individuals each island sends to
+	// its ring successor at a barrier (0 = 1). It must stay below the
+	// smallest deme size.
+	MigrationCount int
+	// IslandObjective, when non-nil and Islands > 1, supplies island i's
+	// objective (i is the 0-based island index). It lets callers hand
+	// each island an independent evaluator so demes evaluate concurrently
+	// without serialising on shared state; the returned objectives MUST
+	// compute identical values for identical inputs, because migrated
+	// memo entries carry values across islands. When nil, every island
+	// shares obj, which must then be safe for concurrent calls.
+	IslandObjective func(island int) Objective
 
 	// MaxEvaluations caps the number of distinct objective evaluations
 	// (0 = unlimited). When the budget runs out the search halts with
@@ -111,8 +139,41 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: generation schedule %d..%d", c.MinGens, c.MaxGens)
 	case c.ConvergeFrac < 0:
 		return fmt.Errorf("ga: convergence fraction %v", c.ConvergeFrac)
+	case c.Islands < 0:
+		return fmt.Errorf("ga: island count %d", c.Islands)
+	case c.MigrationInterval < 0:
+		return fmt.Errorf("ga: migration interval %d", c.MigrationInterval)
+	case c.MigrationCount < 0:
+		return fmt.Errorf("ga: migration count %d", c.MigrationCount)
+	}
+	if c.Islands > 1 {
+		if c.PopSize < 2*c.Islands {
+			return fmt.Errorf("ga: population %d cannot fill %d islands with at least 2 individuals each", c.PopSize, c.Islands)
+		}
+		if c.MaxEvaluations > 0 && c.MaxEvaluations < c.Islands {
+			return fmt.Errorf("ga: evaluation budget %d is below the island count %d (every island force-evaluates one individual)", c.MaxEvaluations, c.Islands)
+		}
+		if k, smallest := c.migrationCount(), c.PopSize/c.Islands; k >= smallest {
+			return fmt.Errorf("ga: migration count %d must stay below the smallest island population %d", k, smallest)
+		}
 	}
 	return nil
+}
+
+// migrationInterval returns the effective barrier spacing.
+func (c Config) migrationInterval() int {
+	if c.MigrationInterval > 0 {
+		return c.MigrationInterval
+	}
+	return 5
+}
+
+// migrationCount returns the effective elites-per-exchange count.
+func (c Config) migrationCount() int {
+	if c.MigrationCount > 0 {
+		return c.MigrationCount
+	}
+	return 1
 }
 
 // GenStats records one generation for convergence analysis.
@@ -135,6 +196,10 @@ type Result struct {
 	// every reason; only StopConverged means the Figure-7 schedule ran
 	// to its natural end.
 	Stopped StopReason
+	// Warnings lists non-fatal configuration adjustments the run made
+	// (e.g. seed individuals dropped because SeedValues exceeded the
+	// PopSize-1 injection cap). Empty on a clean run.
+	Warnings []string
 }
 
 type individual struct {
@@ -162,6 +227,12 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Islands > 1 {
+		// The island-model runtime lives in islands.go; Islands <= 1 stays
+		// on this single-population path untouched, so existing seeds keep
+		// their exact historical results.
+		return runIslands(ctx, spec, obj, cfg)
 	}
 	start := time.Now()
 	src := rand.NewPCG(cfg.Seed1, cfg.Seed2)
@@ -355,6 +426,7 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 	} else {
 		// Random initial population (Figure 4: "Supply a population P0"),
 		// with any heuristic seed individuals replacing the first slots.
+		res.Warnings = seedClampWarnings(len(cfg.SeedValues), cfg.PopSize, -1)
 		pop = make([]individual, 0, cfg.PopSize)
 		for i := 0; i < cfg.PopSize; i++ {
 			var ind individual
@@ -567,3 +639,22 @@ func crossover(kind CrossoverKind, a, b []byte, rng *rand.Rand) {
 }
 
 func cloneBits(b []byte) []byte { return append([]byte(nil), b...) }
+
+// seedClampWarnings documents the SeedValues injection cap: at most
+// popSize-1 seed individuals are used so the initial population always
+// keeps at least one random member, and excess seeds are dropped with a
+// warning instead of silently. island >= 0 tags the warning with the deme
+// the clamp happened in; -1 is the single-population run.
+func seedClampWarnings(seeds, popSize, island int) []string {
+	cap := popSize - 1
+	if seeds <= cap {
+		return nil
+	}
+	where := ""
+	if island >= 0 {
+		where = fmt.Sprintf(" on island %d", island+1)
+	}
+	return []string{fmt.Sprintf(
+		"ga: %d of %d seed individuals dropped%s: at most PopSize-1 = %d seeds are injected so the initial population keeps random diversity",
+		seeds-cap, seeds, where, cap)}
+}

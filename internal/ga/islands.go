@@ -1,0 +1,668 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file implements the island-model runtime behind Config.Islands:
+// the population is split into N demes, each evolving the classic
+// Figure-4/6/7 algorithm on its own PCG stream, with ring-topology elite
+// migration at fixed generation barriers and a deterministic merge of the
+// per-island results.
+//
+// Determinism is the design constraint everything bends around. Each
+// island's RNG stream is derived from Seed1/Seed2 and the island index
+// alone, every deme advances an exact number of generations between
+// barriers, and all cross-island effects (migration, telemetry flushes,
+// checkpoints, the final merge) happen serially in island order at the
+// barriers. Goroutines only parallelise the stretches between barriers,
+// where demes share nothing, so the result is a pure function of
+// (spec, objective, config) at any worker interleaving.
+
+// splitmix64 is the SplitMix64 finalizer; it turns structured seed inputs
+// (seed XOR island index) into statistically independent PCG seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// islandSeeds derives island i's PCG seed pair. The derivation depends
+// only on the run's seeds and the island index — not the island count —
+// and island 0's stream deliberately differs from the single-population
+// stream: the two runtimes are different algorithms and must not be
+// conflated by a seed collision.
+func islandSeeds(cfg Config, island int) (uint64, uint64) {
+	k := uint64(island) + 1
+	return splitmix64(cfg.Seed1 ^ (k * 0x9e3779b97f4a7c15)),
+		splitmix64(cfg.Seed2 ^ (k * 0xd1342543de82ef95))
+}
+
+// islandSizes splits popSize across n demes as evenly as possible, the
+// remainder going to the lowest-indexed islands.
+func islandSizes(popSize, n int) []int {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = popSize / n
+		if i < popSize%n {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// islandBudgets splits a MaxEvaluations budget the same way (0 stays
+// unlimited for every deme).
+func islandBudgets(budget, n int) []int {
+	out := make([]int, n)
+	if budget <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = budget / n
+		if i < budget%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// deme is one island: a sub-population with its own RNG stream, memo
+// table, evaluation-budget share and Figure-7 schedule state. Its methods
+// mirror the closures of the single-population Run loop.
+type deme struct {
+	idx  int // 0-based island index
+	spec Spec
+	cfg  Config
+	obj  Objective
+	size int // target population size
+
+	src *rand.PCG
+	rng *rand.Rand
+	pop []individual
+
+	memo     map[string]float64
+	evals    int
+	memoHits int
+	budget   int // this deme's MaxEvaluations share (0 = unlimited)
+
+	gen       int
+	history   []GenStats
+	best      []int64
+	bestValue float64
+
+	halted     bool
+	haltReason StopReason
+	done       bool // the Figure-7 schedule stopped this deme
+
+	// flushedEvals/flushedMemoHits track what the coordinator already
+	// reported to the observer; events buffers per-generation telemetry
+	// between barriers so the stream stays in deterministic island order.
+	flushedEvals    int
+	flushedMemoHits int
+	events          []telemetry.Event
+
+	start time.Time
+}
+
+// checkHalt is the per-deme halt predicate: context first, then this
+// deme's budget share.
+func (d *deme) checkHalt(ctx context.Context) (StopReason, bool) {
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return StopDeadline, true
+		}
+		return StopCancelled, true
+	default:
+	}
+	if d.budget > 0 && d.evals >= d.budget {
+		return StopBudget, true
+	}
+	return StopConverged, false
+}
+
+// evalFn builds the memoised halt-aware evaluation closure nextGeneration
+// expects, bound to this deme's memo, budget and objective.
+func (d *deme) evalFn(ctx context.Context) func(*individual, bool) bool {
+	return func(ind *individual, force bool) bool {
+		key := string(ind.bits)
+		if v, ok := d.memo[key]; ok {
+			ind.value = v
+			d.memoHits++
+			return true
+		}
+		if !force && !d.halted {
+			if r, h := d.checkHalt(ctx); h {
+				d.halted, d.haltReason = true, r
+				return false
+			}
+		}
+		if d.halted {
+			return false
+		}
+		ind.value = d.obj(d.spec.Decode(ind.bits))
+		d.memo[key] = ind.value
+		d.evals++
+		return true
+	}
+}
+
+// record appends this generation's statistics to the deme history,
+// updates the deme best-ever and buffers the island-tagged GenerationDone
+// event for the next barrier flush.
+func (d *deme) record() {
+	best, sum := math.Inf(1), 0.0
+	for i := range d.pop {
+		sum += d.pop[i].value
+		if d.pop[i].value < best {
+			best = d.pop[i].value
+		}
+		if d.pop[i].value < d.bestValue {
+			d.bestValue = d.pop[i].value
+			d.best = d.spec.Decode(d.pop[i].bits)
+		}
+	}
+	if d.best == nil && len(d.pop) > 0 {
+		// All +Inf (context died before the first evaluation finished):
+		// keep the least-bad individual so the merge always has a
+		// decodable candidate, exactly like the single-population path.
+		bi := 0
+		for i := range d.pop {
+			if d.pop[i].value < d.pop[bi].value {
+				bi = i
+			}
+		}
+		d.bestValue = d.pop[bi].value
+		d.best = d.spec.Decode(d.pop[bi].bits)
+	}
+	avg := sum / float64(len(d.pop))
+	st := GenStats{Gen: d.gen, Best: best, Avg: avg, BestEver: d.bestValue}
+	if avg == 0 {
+		st.Converged = best == 0
+	} else {
+		st.Converged = (avg-best)/avg < d.cfg.ConvergeFrac
+	}
+	d.history = append(d.history, st)
+	if d.cfg.Observer != nil {
+		d.events = append(d.events, telemetry.GenerationDone{
+			Search: d.cfg.Label, Island: d.idx + 1, Gen: d.gen,
+			Best: st.Best, Avg: st.Avg, BestEver: d.bestValue,
+			Evaluations: d.evals, MemoHits: d.memoHits,
+			Elapsed: time.Since(d.start),
+		})
+	}
+}
+
+// initPopulation builds and evaluates the deme's generation-0 population:
+// this island's share of the seed individuals first (clamped to size-1 so
+// random diversity survives), random bits for the rest. The first
+// individual is force-evaluated so every deme always has a best-so-far.
+func (d *deme) initPopulation(ctx context.Context, seeds [][]int64) {
+	eval := d.evalFn(ctx)
+	d.pop = make([]individual, 0, d.size)
+	for i := 0; i < d.size; i++ {
+		var ind individual
+		if i < len(seeds) && i < d.size-1 {
+			ind.bits = d.spec.Encode(seeds[i])
+		} else {
+			ind.bits = make([]byte, d.spec.TotalBits())
+			for b := range ind.bits {
+				ind.bits[b] = byte(d.rng.IntN(2))
+			}
+		}
+		if !eval(&ind, i == 0) {
+			break
+		}
+		d.pop = append(d.pop, ind)
+	}
+	d.record()
+}
+
+// advance evolves the deme up to the target generation (the next
+// migration barrier), stopping early when its Figure-7 schedule fires or
+// a halt (context, budget share) lands. Each call makes progress: it
+// either completes generations, sets done, or sets halted.
+func (d *deme) advance(ctx context.Context, target int) {
+	eval := d.evalFn(ctx)
+	for !d.halted && !d.done && d.gen < target {
+		var stop bool
+		switch {
+		case d.gen < d.cfg.MinGens:
+		case d.gen < d.cfg.MaxGens:
+			stop = d.history[len(d.history)-1].Converged
+		default:
+			stop = true
+		}
+		if stop {
+			d.done = true
+			return
+		}
+		if r, h := d.checkHalt(ctx); h {
+			d.halted, d.haltReason = true, r
+			return
+		}
+		next, ok := nextGeneration(d.pop, d.spec, d.cfg, d.rng, eval)
+		if !ok {
+			// Halted mid-generation: the partial generation is discarded
+			// and the deme stays on its last completed boundary.
+			return
+		}
+		d.gen++
+		d.pop = next
+		d.record()
+	}
+}
+
+// active reports whether the deme still evolves.
+func (d *deme) active() bool { return !d.halted && !d.done }
+
+// state snapshots the deme for a version-2 checkpoint.
+func (d *deme) state() (IslandState, error) {
+	rngState, err := d.src.MarshalBinary()
+	if err != nil {
+		return IslandState{}, fmt.Errorf("ga: marshalling island %d RNG state: %w", d.idx+1, err)
+	}
+	st := IslandState{
+		Gen:       d.gen,
+		Evals:     d.evals,
+		RNG:       rngState,
+		Pop:       make([][]byte, len(d.pop)),
+		Memo:      make([]MemoEntry, 0, len(d.memo)),
+		Best:      append([]int64(nil), d.best...),
+		BestValue: d.bestValue,
+		History:   append([]GenStats(nil), d.history...),
+	}
+	for i := range d.pop {
+		st.Pop[i] = cloneBits(d.pop[i].bits)
+	}
+	for k, v := range d.memo {
+		st.Memo = append(st.Memo, MemoEntry{Bits: []byte(k), Value: v})
+	}
+	return st, nil
+}
+
+// restore rebuilds the deme from a version-2 checkpoint entry.
+func (d *deme) restore(st IslandState) error {
+	if err := d.src.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("ga: restoring island %d RNG state: %w", d.idx+1, err)
+	}
+	d.gen = st.Gen
+	d.evals = st.Evals
+	// The interrupted run already reported this deme's work.
+	d.flushedEvals = st.Evals
+	for _, e := range st.Memo {
+		d.memo[string(e.Bits)] = e.Value
+	}
+	d.pop = make([]individual, len(st.Pop))
+	for i, bits := range st.Pop {
+		v, ok := d.memo[string(bits)]
+		if !ok {
+			return fmt.Errorf("ga: island %d checkpoint individual %d missing from memo", d.idx+1, i)
+		}
+		d.pop[i] = individual{bits: cloneBits(bits), value: v}
+	}
+	d.best = append([]int64(nil), st.Best...)
+	d.bestValue = st.BestValue
+	d.history = append([]GenStats(nil), st.History...)
+	return nil
+}
+
+// parallelDemes runs fn over the demes concurrently and waits for all of
+// them; the first captured panic is re-raised only after every goroutine
+// has drained, so a panicking objective cannot leak demes mid-barrier.
+func parallelDemes(ds []*deme, fn func(*deme)) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(ds))
+	for i, d := range ds {
+		wg.Add(1)
+		go func(i int, d *deme) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			fn(d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// eliteCopies returns deep copies of the k best individuals of pop
+// (lowest value first, ties to the lower index).
+func eliteCopies(pop []individual, k int) []individual {
+	if k > len(pop) {
+		k = len(pop)
+	}
+	taken := make([]bool, len(pop))
+	out := make([]individual, 0, k)
+	for c := 0; c < k; c++ {
+		bi := -1
+		for i := range pop {
+			if taken[i] {
+				continue
+			}
+			if bi < 0 || pop[i].value < pop[bi].value {
+				bi = i
+			}
+		}
+		taken[bi] = true
+		out = append(out, individual{bits: cloneBits(pop[bi].bits), value: pop[bi].value})
+	}
+	return out
+}
+
+// receiveMigrants replaces the deme's worst individuals with the incoming
+// elites (highest value evicted first, ties to the higher index) and
+// records their objective values in the memo — valid because every island
+// evaluates the same objective over the same sample.
+func (d *deme) receiveMigrants(migrants []individual) {
+	for _, m := range migrants {
+		wi := 0
+		for i := 1; i < len(d.pop); i++ {
+			if d.pop[i].value >= d.pop[wi].value {
+				wi = i
+			}
+		}
+		d.pop[wi] = individual{bits: cloneBits(m.bits), value: m.value}
+		d.memo[string(m.bits)] = m.value
+	}
+}
+
+// migrate performs one simultaneous ring exchange: every island's elites
+// are snapshotted first, then each still-active island i receives from
+// its ring predecessor (i-1+N) mod N. Returned events are the buffered
+// IslandMigration records in island order.
+func migrate(demes []*deme, count int, observed bool) []telemetry.Event {
+	n := len(demes)
+	elites := make([][]individual, n)
+	for i, d := range demes {
+		elites[i] = eliteCopies(d.pop, count)
+	}
+	var events []telemetry.Event
+	for i, d := range demes {
+		if !d.active() {
+			// A finished deme's population is final; it still donates its
+			// elites to its ring successor above.
+			continue
+		}
+		from := (i - 1 + n) % n
+		mig := elites[from]
+		if len(mig) == 0 {
+			continue
+		}
+		d.receiveMigrants(mig)
+		if observed {
+			events = append(events, telemetry.IslandMigration{
+				Search: d.cfg.Label, From: from + 1, To: i + 1,
+				Count: len(mig), Gen: d.gen,
+			})
+		}
+	}
+	return events
+}
+
+// stopRank orders halt reasons for the merged Stopped field: the most
+// externally forceful reason wins across islands.
+func stopRank(r StopReason) int {
+	switch r {
+	case StopCancelled:
+		return 3
+	case StopDeadline:
+		return 2
+	case StopBudget:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// mergeResult folds the per-island outcomes into one Result: best of the
+// bests (ties to the lower island), summed evaluations, the maximum
+// generation count, a size-weighted merged history and the most forceful
+// stop reason.
+func mergeResult(demes []*deme, warnings []string) Result {
+	var res Result
+	res.BestValue = math.Inf(1)
+	res.Warnings = warnings
+	for _, d := range demes {
+		res.Evaluations += d.evals
+		if d.gen > res.Generations {
+			res.Generations = d.gen
+		}
+		if d.best == nil {
+			continue
+		}
+		if res.Best == nil || d.bestValue < res.BestValue {
+			res.BestValue = d.bestValue
+			res.Best = append([]int64(nil), d.best...)
+		}
+	}
+	// Merge histories generation by generation: Best is the min across
+	// islands, Avg weights each island by its population share, BestEver
+	// is the running cross-island minimum (monotone by construction).
+	bestEver := math.Inf(1)
+	for g := 0; g <= res.Generations; g++ {
+		var (
+			st     GenStats
+			weight int
+			any    bool
+		)
+		st.Gen = g
+		st.Best = math.Inf(1)
+		st.Converged = true
+		for _, d := range demes {
+			if g >= len(d.history) {
+				continue
+			}
+			h := d.history[g]
+			if !any {
+				any = true
+			}
+			if h.Best < st.Best {
+				st.Best = h.Best
+			}
+			st.Avg += h.Avg * float64(d.size)
+			weight += d.size
+			if h.BestEver < bestEver {
+				bestEver = h.BestEver
+			}
+			st.Converged = st.Converged && h.Converged
+		}
+		if !any {
+			break
+		}
+		st.Avg /= float64(weight)
+		st.BestEver = bestEver
+		res.History = append(res.History, st)
+	}
+	for _, d := range demes {
+		if d.halted && stopRank(d.haltReason) > stopRank(res.Stopped) {
+			res.Stopped = d.haltReason
+		}
+	}
+	return res
+}
+
+// runIslands is the island-model coordinator. The demes evolve
+// concurrently between migration barriers; at every barrier the
+// coordinator — single-threaded, in island order — flushes buffered
+// telemetry, performs the ring migration and writes one version-2
+// checkpoint capturing every island, so ResumeFrom replays the run
+// bit-for-bit from any barrier.
+func runIslands(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, error) {
+	n := cfg.Islands
+	interval := cfg.migrationInterval()
+	count := cfg.migrationCount()
+	start := time.Now()
+	nbits := spec.TotalBits()
+
+	sizes := islandSizes(cfg.PopSize, n)
+	budgets := islandBudgets(cfg.MaxEvaluations, n)
+	demes := make([]*deme, n)
+	for i := range demes {
+		s1, s2 := islandSeeds(cfg, i)
+		src := rand.NewPCG(s1, s2)
+		d := &deme{
+			idx: i, spec: spec, cfg: cfg, obj: obj, size: sizes[i],
+			src: src, rng: rand.New(src),
+			memo: map[string]float64{}, budget: budgets[i],
+			bestValue: math.Inf(1), start: start,
+		}
+		if cfg.IslandObjective != nil {
+			d.obj = cfg.IslandObjective(i)
+		}
+		demes[i] = d
+	}
+
+	// flush forwards buffered per-island events and counter deltas to the
+	// observer, serially in island order.
+	flush := func() {
+		if cfg.Observer == nil {
+			return
+		}
+		for _, d := range demes {
+			for _, e := range d.events {
+				cfg.Observer.Event(e)
+			}
+			d.events = d.events[:0]
+			dE, dM := d.evals-d.flushedEvals, d.memoHits-d.flushedMemoHits
+			if dE != 0 || dM != 0 {
+				cfg.Observer.Add(telemetry.Counters{Evaluations: uint64(dE), MemoHits: uint64(dM)})
+				d.flushedEvals, d.flushedMemoHits = d.evals, d.memoHits
+			}
+		}
+	}
+	defer flush()
+
+	round := 0
+	snapshot := func() error {
+		if cfg.Checkpoint == nil {
+			return nil
+		}
+		cp := &Checkpoint{
+			Version:  checkpointVersionIslands,
+			Label:    cfg.Label,
+			SpecBits: nbits,
+			Round:    round,
+			Islands:  make([]IslandState, n),
+		}
+		individuals, memoEntries := 0, 0
+		for i, d := range demes {
+			st, err := d.state()
+			if err != nil {
+				return err
+			}
+			cp.Islands[i] = st
+			cp.Evals += d.evals
+			if d.gen > cp.Gen {
+				cp.Gen = d.gen
+			}
+			if d.best != nil && (cp.Best == nil || d.bestValue < cp.BestValue) {
+				cp.Best = append([]int64(nil), d.best...)
+				cp.BestValue = d.bestValue
+			}
+			individuals += len(d.pop)
+			memoEntries += len(d.memo)
+		}
+		if err := cfg.Checkpoint(cp); err != nil {
+			return err
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.Event(telemetry.CheckpointWritten{
+				Search: cfg.Label, Gen: cp.Gen,
+				Individuals: individuals, MemoEntries: memoEntries,
+			})
+		}
+		return nil
+	}
+
+	var warnings []string
+	if cp := cfg.ResumeFrom; cp != nil {
+		if err := cp.validate(spec, cfg); err != nil {
+			return Result{}, err
+		}
+		for i, d := range demes {
+			if err := d.restore(cp.Islands[i]); err != nil {
+				return Result{}, err
+			}
+		}
+		round = cp.Round
+	} else {
+		// Deal the seed individuals round-robin across the islands so every
+		// deme gets a heuristic foothold, then build generation 0 in
+		// parallel and flush/checkpoint at the first barrier.
+		seeds := make([][][]int64, n)
+		for j, sv := range cfg.SeedValues {
+			seeds[j%n] = append(seeds[j%n], sv)
+		}
+		for i := range demes {
+			warnings = append(warnings, seedClampWarnings(len(seeds[i]), sizes[i], i)...)
+		}
+		parallelDemes(demes, func(d *deme) { d.initPopulation(ctx, seeds[d.idx]) })
+		flush()
+		if allComplete(demes) {
+			if err := snapshot(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	for {
+		var active []*deme
+		for _, d := range demes {
+			if d.active() {
+				active = append(active, d)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		round++
+		target := round * interval
+		parallelDemes(active, func(d *deme) { d.advance(ctx, target) })
+		flush()
+		events := migrate(demes, count, cfg.Observer != nil)
+		for _, e := range events {
+			cfg.Observer.Event(e)
+		}
+		if allComplete(demes) {
+			if err := snapshot(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	return mergeResult(demes, warnings), nil
+}
+
+// allComplete reports that every island sits on a clean boundary: full
+// population evaluated and no deme halted. A halted deme's state is
+// frozen at the instant its bound fired — mid-generation RNG position,
+// possibly a partial generation-0 population — which depends on *which*
+// bound (budget slice, deadline, cancellation) interrupted it. Writing
+// that state would poison the resume contract: a snapshot chain must
+// contain only states the same seed reaches under any bound, so that
+// resuming an interrupted run with a different (or no) budget replays
+// the uninterrupted search exactly, just like the single-population
+// runtime. Demes stopped by their schedule (done) are complete by
+// definition and budget-independent.
+func allComplete(demes []*deme) bool {
+	for _, d := range demes {
+		if d.halted || len(d.pop) != d.size {
+			return false
+		}
+	}
+	return true
+}

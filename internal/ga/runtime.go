@@ -55,6 +55,9 @@ type Progress struct {
 	Best, Avg, BestEver float64
 	// Evaluations is the number of distinct objective evaluations so far.
 	Evaluations int
+	// Island is the 1-based island the generation belongs to; 0 means the
+	// classic single-population runtime.
+	Island int
 	// Elapsed is the wall-clock time since Run started (resumed runs
 	// count from the resume, not the original start).
 	Elapsed time.Duration
@@ -95,6 +98,15 @@ type Checkpoint struct {
 	Best      []int64    `json:"best"`
 	BestValue float64    `json:"best_value"`
 	History   []GenStats `json:"history"`
+	// Round and Islands are the version-2 island-model extension: Round is
+	// the number of completed migration rounds, Islands one entry per deme
+	// in island order. Both carry omitempty so version-1 single-population
+	// snapshots keep their exact historical encoding; in a version-2
+	// snapshot the top-level Gen/Evals/Best/BestValue summarise the merged
+	// state while RNG/Pop/Memo/History stay empty (the per-island copies
+	// are authoritative).
+	Round   int           `json:"round,omitempty"`
+	Islands []IslandState `json:"islands,omitempty"`
 	// Sum is the hex SHA-256 of the snapshot's canonical encoding (the
 	// same JSON with Sum itself empty). WriteCheckpoint fills it in;
 	// ReadCheckpoint refuses a snapshot whose body does not hash back to
@@ -107,16 +119,47 @@ type Checkpoint struct {
 // checkpointVersion is bumped whenever the snapshot layout changes.
 const checkpointVersion = 1
 
+// checkpointVersionIslands marks snapshots written by the island-model
+// runtime (Config.Islands > 1): version 2 adds the Round counter and one
+// IslandState per deme. Version-1 snapshots still load for
+// single-population runs.
+const checkpointVersionIslands = 2
+
+// IslandState is one deme's share of a version-2 checkpoint: the same
+// population/RNG/memo/history capture the single-population snapshot
+// holds, scoped to one island.
+type IslandState struct {
+	Gen       int         `json:"gen"`
+	Evals     int         `json:"evals"`
+	RNG       []byte      `json:"rng"`
+	Pop       [][]byte    `json:"pop"`
+	Memo      []MemoEntry `json:"memo"`
+	Best      []int64     `json:"best"`
+	BestValue float64     `json:"best_value"`
+	History   []GenStats  `json:"history"`
+}
+
 // validate checks a snapshot against the run configuration it is about to
-// restart.
+// restart. Island-model runs (cfg.Islands > 1) require a version-2
+// snapshot with one IslandState per configured deme; single-population
+// runs require the classic version-1 layout.
 func (c *Checkpoint) validate(spec Spec, cfg Config) error {
+	want := checkpointVersion
+	if cfg.Islands > 1 {
+		want = checkpointVersionIslands
+	}
 	switch {
-	case c.Version != checkpointVersion:
-		return fmt.Errorf("ga: checkpoint version %d (want %d)", c.Version, checkpointVersion)
+	case c.Version != want:
+		return fmt.Errorf("ga: checkpoint version %d (want %d)", c.Version, want)
 	case c.SpecBits != spec.TotalBits():
 		return fmt.Errorf("ga: checkpoint genome is %d bits, spec wants %d", c.SpecBits, spec.TotalBits())
 	case cfg.Label != "" && c.Label != "" && c.Label != cfg.Label:
 		return fmt.Errorf("ga: checkpoint labelled %q, search is %q", c.Label, cfg.Label)
+	}
+	if cfg.Islands > 1 {
+		return c.validateIslands(spec, cfg)
+	}
+	switch {
 	case len(c.Pop) != cfg.PopSize:
 		return fmt.Errorf("ga: checkpoint population %d, config wants %d", len(c.Pop), cfg.PopSize)
 	case c.Gen < 0 || c.Evals < 0:
@@ -127,6 +170,34 @@ func (c *Checkpoint) validate(spec Spec, cfg Config) error {
 	for i, bits := range c.Pop {
 		if len(bits) != spec.TotalBits() {
 			return fmt.Errorf("ga: checkpoint individual %d has %d bits, want %d", i, len(bits), spec.TotalBits())
+		}
+	}
+	return nil
+}
+
+// validateIslands checks the version-2 per-island payload.
+func (c *Checkpoint) validateIslands(spec Spec, cfg Config) error {
+	if len(c.Islands) != cfg.Islands {
+		return fmt.Errorf("ga: checkpoint has %d islands, config wants %d", len(c.Islands), cfg.Islands)
+	}
+	if c.Round < 0 {
+		return fmt.Errorf("ga: checkpoint migration round %d", c.Round)
+	}
+	sizes := islandSizes(cfg.PopSize, cfg.Islands)
+	for i := range c.Islands {
+		st := &c.Islands[i]
+		switch {
+		case len(st.Pop) == 0 || len(st.Pop) > sizes[i]:
+			return fmt.Errorf("ga: checkpoint island %d population %d, config allows 1..%d", i+1, len(st.Pop), sizes[i])
+		case st.Gen < 0 || st.Evals < 0:
+			return fmt.Errorf("ga: checkpoint island %d counters gen=%d evals=%d", i+1, st.Gen, st.Evals)
+		case len(st.History) == 0:
+			return fmt.Errorf("ga: checkpoint island %d has no recorded history", i+1)
+		}
+		for j, bits := range st.Pop {
+			if len(bits) != spec.TotalBits() {
+				return fmt.Errorf("ga: checkpoint island %d individual %d has %d bits, want %d", i+1, j, len(bits), spec.TotalBits())
+			}
 		}
 	}
 	return nil
@@ -161,6 +232,18 @@ func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
 	sort.Slice(cp.Memo, func(i, j int) bool {
 		return bytes.Compare(cp.Memo[i].Bits, cp.Memo[j].Bits) < 0
 	})
+	// Version-2 snapshots carry one memo per island; each gets the same
+	// canonical ordering on its own copy.
+	if len(c.Islands) > 0 {
+		cp.Islands = append([]IslandState(nil), c.Islands...)
+		for i := range cp.Islands {
+			memo := append([]MemoEntry(nil), cp.Islands[i].Memo...)
+			sort.Slice(memo, func(a, b int) bool {
+				return bytes.Compare(memo[a].Bits, memo[b].Bits) < 0
+			})
+			cp.Islands[i].Memo = memo
+		}
+	}
 	cp.Sum = ""
 	body, err := marshalCheckpoint(&cp)
 	if err != nil {

@@ -376,6 +376,14 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (st cach
 // the hot path pays only a nil check. Failed or cancelled evaluations
 // record nothing: their partial counts are discarded by the caller too.
 func (s *Sample) EvaluateObserved(ctx context.Context, ans []*cme.Analyzer, obs telemetry.Recorder) (cachesim.Stats, error) {
+	return s.EvaluateObservedIsland(ctx, ans, obs, 0)
+}
+
+// EvaluateObservedIsland is EvaluateObserved with the batch tagged by its
+// 1-based island index (0 = single-population run): per-island evaluators
+// of the island-model GA report which deme each batch served, so a stream
+// consumer can attribute evaluation work per island.
+func (s *Sample) EvaluateObservedIsland(ctx context.Context, ans []*cme.Analyzer, obs telemetry.Recorder, island int) (cachesim.Stats, error) {
 	if obs == nil {
 		return s.EvaluateWith(ctx, ans)
 	}
@@ -392,6 +400,7 @@ func (s *Sample) EvaluateObserved(ctx context.Context, ans []*cme.Analyzer, obs 
 		wc = wc.Plus(an.WalkCounts().Sub(before[i]))
 	}
 	obs.Event(telemetry.EvaluationBatch{
+		Island:      island,
 		Points:      len(s.Points),
 		Accesses:    st.Accesses,
 		Hits:        st.Hits,

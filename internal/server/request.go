@@ -47,6 +47,11 @@ type TileRequest struct {
 	// default). Never changes the result, so it is excluded from the
 	// result-cache key.
 	Workers int `json:"workers,omitempty"`
+	// Islands splits the GA population into concurrently evolving demes
+	// with elite migration (0 = the server default, 1 = single
+	// population). The island count changes the search trajectory, so it
+	// is part of the result-cache key.
+	Islands int `json:"islands,omitempty"`
 }
 
 // RatioEstimate is the response form of a sampled miss-ratio estimate.
@@ -101,6 +106,7 @@ type normRequest struct {
 	maxEvals   int
 	timeout    time.Duration
 	workers    int
+	islands    int
 	nest       *ir.Nest
 	key        string
 }
@@ -118,6 +124,7 @@ type hashedRequest struct {
 	Points    int          `json:"points"`
 	MaxEvals  int          `json:"maxEvals"`
 	TimeoutMs int64        `json:"timeoutMs"`
+	Islands   int          `json:"islands"`
 }
 
 // normalize validates a request against the server's limits and resolves
@@ -135,11 +142,14 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 	default:
 		return nil, fmt.Errorf("unknown mode %q (want tile or order)", req.Mode)
 	}
-	if req.SamplePoints < 0 || req.MaxEvaluations < 0 || req.TimeoutMs < 0 || req.Workers < 0 {
+	if req.SamplePoints < 0 || req.MaxEvaluations < 0 || req.TimeoutMs < 0 || req.Workers < 0 || req.Islands < 0 {
 		return nil, fmt.Errorf("negative search bound")
 	}
 	if req.SamplePoints > maxSamplePoints {
 		return nil, fmt.Errorf("samplePoints %d exceeds the server limit %d", req.SamplePoints, maxSamplePoints)
+	}
+	if req.Islands > maxIslands {
+		return nil, fmt.Errorf("islands %d exceeds the server limit %d", req.Islands, maxIslands)
 	}
 	var nest *ir.Nest
 	name := req.Kernel
@@ -170,6 +180,10 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+	islands := req.Islands
+	if islands == 0 {
+		islands = s.cfg.DefaultIslands
+	}
 	n := &normRequest{
 		kernelName: name,
 		mode:       mode,
@@ -179,12 +193,14 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 		maxEvals:   req.MaxEvaluations,
 		timeout:    timeout,
 		workers:    req.Workers,
+		islands:    islands,
 		nest:       nest,
 	}
 	sum := sha256.Sum256(mustJSON(hashedRequest{
 		Kernel: req.Kernel, Size: req.Size, Source: req.Source,
 		Cache: cfg, Mode: mode, Seed: req.Seed, Points: req.SamplePoints,
 		MaxEvals: req.MaxEvaluations, TimeoutMs: timeout.Milliseconds(),
+		Islands: islands,
 	}))
 	n.key = hex.EncodeToString(sum[:])
 	return n, nil
@@ -193,6 +209,11 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 // maxSamplePoints bounds the per-evaluation work one request can demand of
 // the service; the paper's estimator needs 164.
 const maxSamplePoints = 100 * sampling.PaperSampleSize
+
+// maxIslands bounds the island fan-out one request can demand: the
+// paper's population of 30 cannot usefully fill more than a handful of
+// demes, and each island runs its own evaluation goroutine.
+const maxIslands = 8
 
 // options maps the normalized request onto the search runtime: the
 // per-request deadline rides Options.Deadline, the budget rides
@@ -205,6 +226,7 @@ func (n *normRequest) options(s *Server) core.Options {
 		SamplePoints:   n.points,
 		MaxEvaluations: n.maxEvals,
 		Workers:        n.workers,
+		Islands:        n.islands,
 		Deadline:       n.timeout,
 		StallTimeout:   s.cfg.StallTimeout,
 		FailurePolicy:  core.FailQuarantine,

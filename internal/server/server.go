@@ -65,6 +65,9 @@ type Config struct {
 	BreakerCooldown  time.Duration
 	// RetryAfter is the hint returned with shed responses (0 = 1s).
 	RetryAfter time.Duration
+	// DefaultIslands is the GA island count applied to requests that name
+	// none (0 = single population). Requests may still override it.
+	DefaultIslands int
 	// Observer receives the server's request lifecycle events and every
 	// search's telemetry. It must be safe for concurrent use: parallel
 	// requests share it. Nil disables telemetry.
@@ -194,8 +197,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (finish func(), o
 		s.shed(w, http.StatusTooManyRequests, "queue_full")
 		return nil, false
 	case err != nil:
-		// The client gave up while queued; nothing useful to send.
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client cancelled while queued"})
+		// The wait for a run slot ended without one (the request context
+		// expired while queued). Shed like any other overload so the
+		// response carries the Retry-After hint.
+		s.shed(w, http.StatusServiceUnavailable, "slot_timeout")
 		return nil, false
 	}
 	// The slot is held. Register against drain — or, if a drain began

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCachePutExistingKeyRefreshes: re-putting a key updates the body and
+// recency in place. It must never insert a duplicate entry, and the
+// refreshed key must outlive a colder one when eviction comes.
+func TestCachePutExistingKeyRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A1"))
+	c.put("b", []byte("B"))
+	c.put("a", []byte("A2")) // refresh: b is now the LRU entry
+	if got := c.len(); got != 2 {
+		t.Fatalf("len after re-put = %d, want 2 (duplicate inserted)", got)
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; re-put did not refresh a's recency")
+	}
+	body, ok := c.get("a")
+	if !ok {
+		t.Fatal("a evicted despite being refreshed by the re-put")
+	}
+	if string(body) != "A2" {
+		t.Fatalf("a = %q, want the re-put body A2", body)
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+}
+
+// TestCacheEvictionStaysBounded: a long run of puts never grows the cache
+// past its bound, and each put needs at most one eviction.
+func TestCacheEvictionStaysBounded(t *testing.T) {
+	c := newResultCache(4)
+	for i := 0; i < 40; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+		if got := c.len(); got > 4 {
+			t.Fatalf("len = %d after put %d, want <= 4", got, i)
+		}
+	}
+	if got := c.len(); got != 4 {
+		t.Fatalf("final len = %d, want 4", got)
+	}
+	// The four newest keys are the survivors.
+	for i := 36; i < 40; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing; eviction removed a hot entry", i)
+		}
+	}
+}
+
+// TestCacheSetMaxShrinkAmortized: shrinking the bound trims one batch
+// immediately and works the backlog off on subsequent puts, so no single
+// operation sweeps the whole cache under the mutex.
+func TestCacheSetMaxShrinkAmortized(t *testing.T) {
+	c := newResultCache(32)
+	for i := 0; i < 32; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	c.setMax(2)
+	if got := c.len(); got != 32-evictBatch {
+		t.Fatalf("len after shrink = %d, want %d (one batch trimmed)", got, 32-evictBatch)
+	}
+	// Each put drains at most one more batch; the backlog shrinks
+	// monotonically until the cache sits at its new bound.
+	prev := c.len()
+	for i := 0; c.len() > 2 && i < 32; i++ {
+		c.put(fmt.Sprintf("n%d", i), []byte("v"))
+		if got := c.len(); got > prev+1 {
+			t.Fatalf("len grew from %d to %d during backlog drain", prev, got)
+		}
+		prev = c.len()
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len after drain = %d, want 2", got)
+	}
+	c.setMax(0) // clamps to 1
+	if got := c.len(); got != 1 {
+		t.Fatalf("len after setMax(0) = %d, want 1", got)
+	}
+}
+
+// retryAfterSeconds parses the Retry-After header and requires a positive
+// integer number of seconds — the contract for every shed response.
+func retryAfterSeconds(t *testing.T, h http.Header) int {
+	t.Helper()
+	raw := h.Get("Retry-After")
+	if raw == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer: %v", raw, err)
+	}
+	if secs <= 0 {
+		t.Fatalf("Retry-After = %d, want > 0", secs)
+	}
+	return secs
+}
+
+// shedReasons collects the RequestShed reasons the capture recorded.
+func shedReasons(cap *telemetry.Capture) []string {
+	var reasons []string
+	for _, e := range cap.Events() {
+		if rs, ok := e.(telemetry.RequestShed); ok {
+			reasons = append(reasons, rs.Reason)
+		}
+	}
+	return reasons
+}
+
+// TestShedQueueFullRetryAfter: the queue-full rejection carries a 429 and
+// a positive integer Retry-After, even with the default config where no
+// RetryAfter was set explicitly.
+func TestShedQueueFullRetryAfter(t *testing.T) {
+	s, _, cap := testServer(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	release, err := s.gate.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/tile", nil)
+	if _, ok := s.admit(rec, req); ok {
+		t.Fatal("admit succeeded with the only slot held and no queue")
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	retryAfterSeconds(t, rec.Header())
+	if got := shedReasons(cap); len(got) != 1 || got[0] != "queue_full" {
+		t.Fatalf("shed reasons = %v, want [queue_full]", got)
+	}
+}
+
+// TestShedSlotTimeoutRetryAfter: a request whose context expires while it
+// waits in the queue is shed like any other overload — 503, a positive
+// integer Retry-After, and a slot_timeout telemetry event — instead of
+// the bare error body it used to get.
+func TestShedSlotTimeoutRetryAfter(t *testing.T) {
+	s, _, cap := testServer(t, Config{MaxConcurrent: 1, QueueDepth: 4, RetryAfter: 0})
+	release, err := s.gate.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the waiter's context is already dead when it queues
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/tile", nil).WithContext(ctx)
+	if _, ok := s.admit(rec, req); ok {
+		t.Fatal("admit succeeded with a dead request context and the slot held")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	retryAfterSeconds(t, rec.Header())
+	if got := shedReasons(cap); len(got) != 1 || got[0] != "slot_timeout" {
+		t.Fatalf("shed reasons = %v, want [slot_timeout]", got)
+	}
+}

@@ -89,9 +89,12 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Phase  string `json:"phase"`
 		}{string(ev.Kind()), ev.Search, ev.Phase}
 	case telemetry.GenerationDone:
+		// The island field is omitted when zero, so single-population
+		// streams are byte-identical to those of earlier releases.
 		rec := struct {
 			Ev        string  `json:"ev"`
 			Search    string  `json:"search"`
+			Island    int     `json:"island,omitempty"`
 			Gen       int     `json:"gen"`
 			Best      jfloat  `json:"best"`
 			Avg       jfloat  `json:"avg"`
@@ -99,7 +102,7 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Evals     int     `json:"evals"`
 			MemoHits  int     `json:"memo_hits"`
 			ElapsedMS *jfloat `json:"elapsed_ms,omitempty"`
-		}{string(ev.Kind()), ev.Search, ev.Gen, jfloat(ev.Best), jfloat(ev.Avg),
+		}{string(ev.Kind()), ev.Search, ev.Island, ev.Gen, jfloat(ev.Best), jfloat(ev.Avg),
 			jfloat(ev.BestEver), ev.Evaluations, ev.MemoHits, nil}
 		if j.Timestamps {
 			ms := jfloat(float64(ev.Elapsed.Microseconds()) / 1e3)
@@ -109,14 +112,24 @@ func (j *JSONL) record(e telemetry.Event) any {
 	case telemetry.EvaluationBatch:
 		return struct {
 			Ev          string `json:"ev"`
+			Island      int    `json:"island,omitempty"`
 			Points      int    `json:"points"`
 			Accesses    uint64 `json:"accesses"`
 			Hits        uint64 `json:"hits"`
 			Compulsory  uint64 `json:"compulsory"`
 			Replacement uint64 `json:"replacement"`
 			WalkSteps   uint64 `json:"walk_steps"`
-		}{string(ev.Kind()), ev.Points, ev.Accesses, ev.Hits, ev.Compulsory,
+		}{string(ev.Kind()), ev.Island, ev.Points, ev.Accesses, ev.Hits, ev.Compulsory,
 			ev.Replacement, ev.WalkSteps}
+	case telemetry.IslandMigration:
+		return struct {
+			Ev     string `json:"ev"`
+			Search string `json:"search"`
+			From   int    `json:"from"`
+			To     int    `json:"to"`
+			Count  int    `json:"count"`
+			Gen    int    `json:"gen"`
+		}{string(ev.Kind()), ev.Search, ev.From, ev.To, ev.Count, ev.Gen}
 	case telemetry.CheckpointWritten:
 		return struct {
 			Ev          string `json:"ev"`

@@ -37,14 +37,21 @@ func (t *TTY) Event(e telemetry.Event) {
 	case telemetry.PhaseChange:
 		fmt.Fprintf(t.w, "[%s] phase %s\n", ev.Search, ev.Phase)
 	case telemetry.GenerationDone:
+		label := ev.Search
+		if ev.Island > 0 {
+			label = fmt.Sprintf("%s/i%d", ev.Search, ev.Island)
+		}
 		fmt.Fprintf(t.w, "[%s] gen %2d  best %.6g  avg %.6g  best-ever %.6g  evals %d  %v\n",
-			ev.Search, ev.Gen, ev.Best, ev.Avg, ev.BestEver, ev.Evaluations,
+			label, ev.Gen, ev.Best, ev.Avg, ev.BestEver, ev.Evaluations,
 			ev.Elapsed.Round(time.Millisecond))
 	case telemetry.EvaluationBatch:
 		if t.Verbose {
 			fmt.Fprintf(t.w, "  eval %d points: %d hit / %d compulsory / %d replacement (%d walk steps)\n",
 				ev.Points, ev.Hits, ev.Compulsory, ev.Replacement, ev.WalkSteps)
 		}
+	case telemetry.IslandMigration:
+		fmt.Fprintf(t.w, "[%s] migration i%d -> i%d (%d elites) @ gen %d\n",
+			ev.Search, ev.From, ev.To, ev.Count, ev.Gen)
 	case telemetry.CheckpointWritten:
 		fmt.Fprintf(t.w, "[%s] checkpoint @ gen %d (%d individuals, %d memo entries)\n",
 			ev.Search, ev.Gen, ev.Individuals, ev.MemoEntries)

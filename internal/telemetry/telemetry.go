@@ -38,6 +38,10 @@ const (
 	KindEvaluationBatch   Kind = "evaluation_batch"
 	KindCheckpointWritten Kind = "checkpoint"
 	KindSearchStop        Kind = "search_stop"
+	// KindIslandMigration marks one ring-topology elite exchange of the
+	// island-model GA: island From sent Count elites to island To at a
+	// migration barrier.
+	KindIslandMigration Kind = "island_migration"
 	// KindEvaluationQuarantined and KindCheckpointRecovered are the
 	// fault-tolerance events: a candidate whose evaluation failed was
 	// assigned worst fitness and set aside, or a corrupt/missing primary
@@ -102,6 +106,11 @@ func (PhaseChange) Kind() Kind { return KindPhaseChange }
 type GenerationDone struct {
 	// Search is the GA phase label.
 	Search string
+	// Island is the 1-based island index of the deme that completed the
+	// generation; 0 means a classic single-population run. The index is a
+	// deterministic function of the GA seed and island count, never of
+	// goroutine scheduling.
+	Island int
 	// Gen is the generation just recorded.
 	Gen int
 	// Best and Avg are the generation's best (lowest) and average
@@ -123,6 +132,11 @@ func (GenerationDone) Kind() Kind { return KindGenerationDone }
 // classified against one candidate's iteration space, with the aggregate
 // outcome counts and the interference-walk cost it took to compute them.
 type EvaluationBatch struct {
+	// Island is the 1-based island index whose objective evaluation this
+	// batch served; 0 means a single-population run. Unlike generation
+	// events, batches from concurrent islands may interleave in stream
+	// order (their contents stay deterministic per island).
+	Island int
 	// Points is the number of sampled iteration points classified.
 	Points int
 	// Accesses/Hits/Compulsory/Replacement are the aggregate outcome
@@ -139,6 +153,25 @@ type EvaluationBatch struct {
 
 // Kind implements Event.
 func (EvaluationBatch) Kind() Kind { return KindEvaluationBatch }
+
+// IslandMigration reports one edge of a ring-topology elite exchange at a
+// migration barrier of the island-model GA: island From's best Count
+// individuals were copied into island To, replacing To's worst. Emitted
+// serially in island order at the barrier, so the stream is deterministic
+// for a fixed seed and island count.
+type IslandMigration struct {
+	// Search is the GA phase label.
+	Search string
+	// From and To are 1-based island indices (To = From's ring successor).
+	From, To int
+	// Count is how many elites moved.
+	Count int
+	// Gen is the recipient island's completed generation at the exchange.
+	Gen int
+}
+
+// Kind implements Event.
+func (IslandMigration) Kind() Kind { return KindIslandMigration }
 
 // CheckpointWritten reports a successfully persisted generation-boundary
 // snapshot.
@@ -198,10 +231,11 @@ type RequestAccepted struct {
 func (RequestAccepted) Kind() Kind { return KindRequestAccepted }
 
 // RequestShed reports a request rejected at admission: the queue was full
-// (load shedding, HTTP 429), the server was draining (503), or the
+// (load shedding, HTTP 429), the queued request's context ended before a
+// run slot freed up (503), the server was draining (503), or the
 // server.accept fault point fired in a chaos run.
 type RequestShed struct {
-	// Reason is "queue_full", "draining" or "injected".
+	// Reason is "queue_full", "slot_timeout", "draining" or "injected".
 	Reason string
 }
 
