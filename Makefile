@@ -74,9 +74,9 @@ islands:
 
 # Point-solver, evaluation and search microbenchmarks, recorded as a
 # JSON trajectory file so perf changes are tracked PR over PR.
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel|IslandSearch' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel|IslandSearch|EvalCacheSearch' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz sweeps over the structured-input entry points.
 fuzz:

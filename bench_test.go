@@ -19,6 +19,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/cme"
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/experiments"
 	"repro/internal/ga"
 	"repro/internal/iterspace"
@@ -364,6 +365,53 @@ func BenchmarkIslandSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEvalCacheSearch measures the shared evaluation cache on the
+// island-benchmark workload: "cold" gives every search a fresh cache (the
+// first-request side, bounding the cache's overhead), "warm" repeats an
+// identical search against a pre-warmed cache (the repeated-request side
+// — what tilingd sees when related requests arrive). The determinism
+// contract makes the results bit-identical either way; only time differs.
+func BenchmarkEvalCacheSearch(b *testing.B) {
+	k, _ := kernels.Get("MM")
+	nest, err := k.Instance(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := func(c *evalcache.Cache) core.Options {
+		return core.Options{
+			Cache:          cache.DM8K,
+			Seed:           42,
+			Workers:        1,
+			SamplePoints:   164,
+			MaxEvaluations: 600,
+			SharedCache:    c,
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := evalcache.New(evalcache.Config{})
+			if _, err := core.OptimizeTiling(context.Background(), nest, opts(c)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := evalcache.New(evalcache.Config{})
+		if _, err := core.OptimizeTiling(context.Background(), nest, opts(c)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OptimizeTiling(context.Background(), nest, opts(c)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		m := c.Metrics()
+		b.ReportMetric(float64(m.Hits)/float64(b.N), "hits/op")
+	})
 }
 
 // --- ablations -------------------------------------------------------------

@@ -3,16 +3,20 @@
 // /v1/tile and get near-optimal tile sizes back. The daemon is built to
 // survive sustained load: bounded admission with explicit 429 load
 // shedding, per-request deadlines that degrade to best-so-far tiles, a
-// singleflight-deduplicated result cache, a circuit breaker that falls
-// back to a cheap heuristic tiling when searches keep failing, and a
-// SIGTERM drain that answers every accepted request before exiting.
+// singleflight-deduplicated result cache, a process-wide shared
+// evaluation cache that lets related searches reuse each other's work, a
+// circuit breaker that falls back to a cheap heuristic tiling when
+// searches keep failing, and a SIGTERM drain that answers every accepted
+// request before exiting.
 //
 // Usage:
 //
 //	tilingd -addr :8080
 //	curl -s localhost:8080/v1/tile -d '{"kernel":"MM","size":500,"cache":"8k","seed":1}'
+//	curl -s localhost:8080/v1/tile/batch -d '{"requests":[{"kernel":"MM","cache":"8k","seed":1},{"kernel":"T2D","cache":"8k","seed":1}]}'
 //
-// Endpoints: POST /v1/tile, GET /healthz, GET /debug/vars (expvar).
+// Endpoints: POST /v1/tile, POST /v1/tile/batch (NDJSON stream),
+// GET /v1/kernels, GET /healthz, GET /debug/vars (expvar).
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "hard cap on any request's search deadline")
 		stall      = flag.Duration("stall-timeout", 10*time.Second, "per-evaluation watchdog on every search")
 		cacheEnt   = flag.Int("cache-entries", 512, "result-cache capacity (responses)")
+		evalEnt    = flag.Int("evalcache-entries", 0, "shared evaluation-cache capacity (0 = default 32768, negative = disabled)")
 		brkFails   = flag.Int("breaker-failures", 5, "consecutive search failures that trip the fallback breaker")
 		brkCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker serves fallback tilings before probing")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace: searches still running after this are cancelled to best-so-far")
@@ -86,6 +91,7 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		StallTimeout:     *stall,
 		CacheEntries:     *cacheEnt,
+		EvalCacheEntries: *evalEnt,
 		BreakerThreshold: *brkFails,
 		BreakerCooldown:  *brkCool,
 		RetryAfter:       *retryAfter,

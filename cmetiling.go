@@ -19,7 +19,18 @@
 // Every search takes a context first: cancel it or give it a deadline and
 // the search stops at the next candidate boundary, returning the best
 // result found so far (never an error). The historical OptimizeXContext
-// names remain as deprecated aliases.
+// aliases, deprecated since the ctx-first redesign, have been removed —
+// the ctx-first names are the only spelling.
+//
+// # Sharing evaluation work across searches
+//
+// Options.SharedCache attaches a shared evaluation cache (NewEvalCache)
+// to a search. The cache memoizes per-candidate fitness values, finalized
+// per-tile statistics and analyzer pools across GA islands, successive
+// searches and concurrent callers — strictly result-transparently: for a
+// fixed seed a search returns bit-identical results whether the cache is
+// absent, cold, or pre-warmed. Repeated or related searches over the same
+// nest and cache geometry get faster, never different.
 //
 // Custom loop nests are built from the ir package's types (re-exported
 // here): arrays with explicit layout, affine references, rectangular
@@ -66,6 +77,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/cme"
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/expr"
 	"repro/internal/faultinject"
 	"repro/internal/ga"
@@ -177,6 +189,24 @@ const (
 // runtime fault.
 var ErrBadOption = core.ErrBadOption
 
+// Shared evaluation cache: cross-search, cross-island memoization of
+// evaluation work, attached through Options.SharedCache (see "Sharing
+// evaluation work across searches" in the package docs).
+type (
+	// EvalCache is the sharded, bounded, concurrency-safe evaluation
+	// cache; one instance may back any number of concurrent searches.
+	EvalCache = evalcache.Cache
+	// EvalCacheConfig sizes an EvalCache and attaches its telemetry
+	// observer.
+	EvalCacheConfig = evalcache.Config
+	// EvalCacheMetrics is an EvalCache's hit/miss/eviction/size snapshot.
+	EvalCacheMetrics = evalcache.Metrics
+)
+
+// NewEvalCache builds a shared evaluation cache; the zero EvalCacheConfig
+// gives the defaults (32768 entries, 16 shards, no observer).
+var NewEvalCache = evalcache.New
+
 // Telemetry: the typed observation surface of a search, attached through
 // Options.Observer (see "Observing a search" in the package docs).
 type (
@@ -214,6 +244,12 @@ type (
 	// CheckpointRecoveredEvent reports a resume that fell back to the
 	// rotated previous-good snapshot.
 	CheckpointRecoveredEvent = telemetry.CheckpointRecovered
+	// EvalCacheHitEvent, EvalCacheMissEvent and EvalCacheEvictEvent
+	// report shared evaluation-cache operations (Options.SharedCache);
+	// the matching monotonic totals ride Counters.
+	EvalCacheHitEvent   = telemetry.EvalCacheHit
+	EvalCacheMissEvent  = telemetry.EvalCacheMiss
+	EvalCacheEvictEvent = telemetry.EvalCacheEvict
 	// SearchStopEvent closes a search's event stream with its outcome.
 	SearchStopEvent = telemetry.SearchStop
 
@@ -343,26 +379,11 @@ func OptimizeTiling(ctx context.Context, nest *Nest, opt Options) (*TilingResult
 	return core.OptimizeTiling(ctx, nest, opt)
 }
 
-// OptimizeTilingContext is OptimizeTiling under its historical name.
-//
-// Deprecated: OptimizeTiling now takes the context directly.
-func OptimizeTilingContext(ctx context.Context, nest *Nest, opt Options) (*TilingResult, error) {
-	return OptimizeTiling(ctx, nest, opt)
-}
-
 // OptimizeTilingOrder searches tile sizes together with the interchange
 // order of the tile loops — the full "strip-mining + interchange" space
 // (an extension of the paper's fixed-order search).
 func OptimizeTilingOrder(ctx context.Context, nest *Nest, opt Options) (*OrderedTilingResult, error) {
 	return core.OptimizeTilingOrder(ctx, nest, opt)
-}
-
-// OptimizeTilingOrderContext is OptimizeTilingOrder under its historical
-// name.
-//
-// Deprecated: OptimizeTilingOrder now takes the context directly.
-func OptimizeTilingOrderContext(ctx context.Context, nest *Nest, opt Options) (*OrderedTilingResult, error) {
-	return OptimizeTilingOrder(ctx, nest, opt)
 }
 
 // OptimizeTilingMultiLevel searches tile sizes against a whole cache
@@ -372,24 +393,9 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *Nest, levels []Level, o
 	return core.OptimizeTilingMultiLevel(ctx, nest, levels, opt)
 }
 
-// OptimizeTilingMultiLevelContext is OptimizeTilingMultiLevel under its
-// historical name.
-//
-// Deprecated: OptimizeTilingMultiLevel now takes the context directly.
-func OptimizeTilingMultiLevelContext(ctx context.Context, nest *Nest, levels []Level, opt Options) (*MultiLevelResult, error) {
-	return OptimizeTilingMultiLevel(ctx, nest, levels, opt)
-}
-
 // OptimizePadding searches inter-/intra-array padding (§4.3, [28]).
 func OptimizePadding(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
 	return core.OptimizePadding(ctx, nest, opt)
-}
-
-// OptimizePaddingContext is OptimizePadding under its historical name.
-//
-// Deprecated: OptimizePadding now takes the context directly.
-func OptimizePaddingContext(ctx context.Context, nest *Nest, opt Options) (*PaddingResult, error) {
-	return OptimizePadding(ctx, nest, opt)
 }
 
 // OptimizePaddingThenTiling runs the two searches sequentially (Table 3);
@@ -398,25 +404,10 @@ func OptimizePaddingThenTiling(ctx context.Context, nest *Nest, opt Options) (*C
 	return core.OptimizePaddingThenTiling(ctx, nest, opt)
 }
 
-// OptimizePaddingThenTilingContext is OptimizePaddingThenTiling under its
-// historical name.
-//
-// Deprecated: OptimizePaddingThenTiling now takes the context directly.
-func OptimizePaddingThenTilingContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
-	return OptimizePaddingThenTiling(ctx, nest, opt)
-}
-
 // OptimizeJoint searches padding and tiling in a single genome (the
 // paper's stated future work).
 func OptimizeJoint(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
 	return core.OptimizeJoint(ctx, nest, opt)
-}
-
-// OptimizeJointContext is OptimizeJoint under its historical name.
-//
-// Deprecated: OptimizeJoint now takes the context directly.
-func OptimizeJointContext(ctx context.Context, nest *Nest, opt Options) (*CombinedResult, error) {
-	return OptimizeJoint(ctx, nest, opt)
 }
 
 // Simulate runs the nest's full reference trace through a trace-driven

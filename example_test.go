@@ -74,7 +74,7 @@ func ExampleNewJSONLSink() {
 	// Output:
 	// {"ev":"search_start","search":"tiling","kernel":"MM","depth":3,"cache":"8192:32:1","seed":1,"points":164,"workers":1}
 	// {"ev":"search_stop","search":"tiling","stopped":"converged","gens":25,"evals":402,"best_value":18}
-	// {"ev":"counters","evaluations":0,"memo_hits":0,"sampled_points":0,"walk_steps":0,"classified_accesses":0,"walk_cap_hits":0,"pool_hits":0,"pool_misses":0}
+	// {"ev":"counters","evaluations":0,"memo_hits":0,"sampled_points":0,"walk_steps":0,"classified_accesses":0,"walk_cap_hits":0,"pool_hits":0,"pool_misses":0,"evalcache_hits":0,"evalcache_misses":0,"evalcache_evictions":0}
 }
 
 // ExampleAnalyzeExact shows that the analytical model equals simulation.

@@ -50,54 +50,39 @@ func optimizeFuncs(t *testing.T, dir string) map[string]struct{ deprecated, ctxF
 	return out
 }
 
-// TestFacadeParity pins the ctx-first API contract of the redesign:
-// every exported core search has exactly one canonical ctx-first facade
-// wrapper plus exactly one deprecated <name>Context alias, and nothing
-// else. A new search added to internal/core without facade coverage (or
-// a facade function with no core backing) fails this test.
+// TestFacadeParity pins the v1 ctx-first API contract: every exported
+// core search has exactly one canonical ctx-first facade wrapper, and
+// the deprecated <name>Context aliases of the pre-redesign surface are
+// gone for good — no facade Optimize function is deprecated or named
+// *Context. A new search added to internal/core without facade coverage
+// (or a facade function with no core backing) fails this test.
 func TestFacadeParity(t *testing.T) {
 	core := optimizeFuncs(t, "internal/core")
 	facade := optimizeFuncs(t, ".")
 
-	canonical := make(map[string]bool)
-	deprecated := make(map[string]bool)
 	for name, info := range facade {
 		if info.deprecated {
-			deprecated[name] = true
-		} else {
-			canonical[name] = true
-			if !info.ctxFirst {
-				t.Errorf("facade %s is canonical but not ctx-first", name)
-			}
+			t.Errorf("facade %s is deprecated; the v1 surface carries no deprecated searches", name)
 		}
-	}
-
-	for name, info := range core {
+		if strings.HasSuffix(name, "Context") {
+			t.Errorf("facade %s resurrects a removed *Context alias", name)
+		}
 		if !info.ctxFirst {
-			t.Errorf("core %s does not take a context first", name)
+			t.Errorf("facade %s is not ctx-first", name)
 		}
-		if !canonical[name] {
-			t.Errorf("core %s has no canonical ctx-first facade wrapper", name)
-		}
-		if !deprecated[name+"Context"] {
-			t.Errorf("core %s has no deprecated %sContext facade alias", name, name)
-		}
-	}
-	for name := range canonical {
 		if _, ok := core[name]; !ok {
 			t.Errorf("facade %s has no matching core search", name)
 		}
 	}
-	for name := range deprecated {
-		base := strings.TrimSuffix(name, "Context")
-		if base == name {
-			t.Errorf("deprecated facade %s is not a *Context alias", name)
-		} else if _, ok := core[base]; !ok {
-			t.Errorf("deprecated facade %s has no matching core search %s", name, base)
+	for name, info := range core {
+		if !info.ctxFirst {
+			t.Errorf("core %s does not take a context first", name)
+		}
+		if _, ok := facade[name]; !ok {
+			t.Errorf("core %s has no canonical ctx-first facade wrapper", name)
 		}
 	}
-	if len(canonical) == 0 || len(canonical) != len(deprecated) {
-		t.Errorf("facade has %d canonical and %d deprecated Optimize functions; want equal and non-zero",
-			len(canonical), len(deprecated))
+	if len(facade) == 0 {
+		t.Error("no Optimize functions found in the facade")
 	}
 }

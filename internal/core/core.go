@@ -33,6 +33,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cachesim"
 	"repro/internal/cme"
+	"repro/internal/evalcache"
+	"repro/internal/faultinject"
 	"repro/internal/ga"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
@@ -110,6 +112,19 @@ type Options struct {
 	// with ErrStalled and treated according to FailurePolicy, so one stuck
 	// evaluation degrades the search to best-so-far instead of hanging it.
 	StallTimeout time.Duration
+	// SharedCache, when non-nil, is the process-wide shared evaluation
+	// cache: finished fitness values and per-tile statistics, keyed by
+	// content (nest IR, cache geometry, sample set, candidate), recalled
+	// across GA islands, successive searches and service requests, plus
+	// analyzer-pool reuse across searches over the same nest. It is
+	// strictly result-transparent: for a fixed Seed a search returns
+	// bit-identical results whether the cache is nil, cold, or pre-warmed
+	// by earlier searches — only the work to arrive there changes. Values
+	// that are not pure functions of their key (quarantine sentinels,
+	// poisoned evaluations) are never stored, and searches running under
+	// an injected fault plan bypass the cache entirely so fault schedules
+	// keep firing at the same evaluation counts.
+	SharedCache *evalcache.Cache
 	// Checkpoint, when non-nil, receives a resumable snapshot after every
 	// completed GA generation. For the sequential padding+tiling search
 	// only the tiling phase is checkpointed.
@@ -132,9 +147,14 @@ func badOption(field, format string, args ...any) error {
 
 // Validate checks the options for a search. Zero values that withDefaults
 // fills in (SamplePoints, Confidence, Workers, the GA block) are valid;
-// everything a caller sets explicitly must be in range. All searches call
-// Validate before running, so a bad configuration fails fast with a typed
-// ErrBadOption error instead of misbehaving mid-search.
+// everything a caller sets explicitly must be in range. SharedCache has
+// no invalid states — nil disables sharing and any constructed cache is
+// usable — but a caller-supplied GA.SharedMemo alongside SharedCache is
+// rejected: the search derives the GA memo tier from SharedCache, and a
+// second source of recalled fitness values would break the determinism
+// contract. All searches call Validate before running, so a bad
+// configuration fails fast with a typed ErrBadOption error instead of
+// misbehaving mid-search.
 func (o Options) Validate() error {
 	if err := o.Cache.Validate(); err != nil {
 		return badOption("Cache", "%v", err)
@@ -171,6 +191,9 @@ func (o Options) Validate() error {
 	}
 	if o.StallTimeout < 0 {
 		return badOption("StallTimeout", "%v is negative", o.StallTimeout)
+	}
+	if o.SharedCache != nil && o.GA.SharedMemo != nil {
+		return badOption("SharedCache", "GA.SharedMemo is derived from SharedCache; set only one")
 	}
 	if o.GA.PopSize != 0 {
 		if err := o.GA.Validate(); err != nil {
@@ -242,6 +265,17 @@ func (o Options) searchContext(ctx context.Context) (context.Context, context.Ca
 		return context.WithTimeout(ctx, o.Deadline)
 	}
 	return context.WithCancel(ctx)
+}
+
+// sharedScoped disables the shared evaluation cache for searches running
+// under an injected fault plan: fault triggers fire at evaluation entry
+// counts, and recalling finished results would skip those entries,
+// silently rescheduling the plan. Chaos runs therefore always compute.
+func (o Options) sharedScoped(ctx context.Context) Options {
+	if o.SharedCache != nil && ctx != nil && faultinject.From(ctx) != nil {
+		o.SharedCache = nil
+	}
+	return o
 }
 
 // gaRuntime copies the Options runtime controls (budget, observer,
@@ -364,6 +398,16 @@ type evaluator struct {
 	mu       sync.Mutex
 	pool     []*cme.Analyzer
 	poolNest *ir.Nest
+
+	// shared is the cross-search evaluation cache (nil = disabled). The
+	// content keys are precomputed once per search; only the primary
+	// evaluator carries them — island forks leave shared nil, since
+	// fitness sharing happens at the GA layer and pool parking belongs to
+	// the search's primary pool.
+	shared   *evalcache.Cache
+	nestKey  string
+	cfgKey   string
+	sampleFP string
 }
 
 func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
@@ -379,7 +423,7 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	return &evaluator{
+	e := &evaluator{
 		nest:    nest,
 		box:     box,
 		cfg:     opt.Cache,
@@ -388,7 +432,14 @@ func newEvaluator(nest *ir.Nest, opt Options) (*evaluator, error) {
 		workers: workers,
 		obs:     opt.Observer,
 		stall:   opt.StallTimeout,
-	}, nil
+	}
+	if opt.SharedCache != nil {
+		e.shared = opt.SharedCache
+		e.nestKey = evalcache.NestKey(nest)
+		e.cfgKey = evalcache.ConfigKey(opt.Cache)
+		e.sampleFP = e.sample.Fingerprint()
+	}
+	return e, nil
 }
 
 // fork returns an island-private view of the evaluator: its own mutex
@@ -405,7 +456,9 @@ func (e *evaluator) fork(island int) *evaluator {
 
 // analyzers returns the worker analyzer pool bound to (nest, space):
 // rebinding in place when the pool already analyses nest (reused=true),
-// rebuilding it otherwise. Callers hold e.mu.
+// checking a parked pool out of the shared cache when an earlier search
+// over a content-equal nest returned one, and rebuilding otherwise.
+// Callers hold e.mu.
 func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) (ans []*cme.Analyzer, reused bool, err error) {
 	if e.poolNest == nest && len(e.pool) > 0 {
 		for _, an := range e.pool {
@@ -414,6 +467,10 @@ func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) (ans []*cme.
 			}
 		}
 		return e.pool, true, nil
+	}
+	if pool := e.checkoutShared(nest, space); pool != nil {
+		e.pool, e.poolNest = pool, nest
+		return pool, true, nil
 	}
 	an, err := cme.NewAnalyzer(nest, space, e.cfg)
 	if err != nil {
@@ -428,10 +485,70 @@ func (e *evaluator) analyzers(nest *ir.Nest, space iterspace.Space) (ans []*cme.
 	return pool, false, nil
 }
 
+// poolKey scopes parked analyzer pools to (nest content, geometry):
+// analyzers built for a content-equal nest under the same geometry
+// classify identically, so a checked-out pool is result-invariant.
+func (e *evaluator) poolKey() string {
+	return evalcache.Scope("pool", e.nestKey, e.cfgKey)
+}
+
+// checkoutShared tries to adopt a parked pool from the shared cache for
+// the search's base nest, rebound to space and resized to this search's
+// worker count. Any rebind failure drops the pool and reports a miss so
+// the caller rebuilds from scratch.
+func (e *evaluator) checkoutShared(nest *ir.Nest, space iterspace.Space) []*cme.Analyzer {
+	if e.shared == nil || nest != e.nest {
+		return nil
+	}
+	pool, ok := e.shared.CheckoutPool(e.poolKey())
+	if !ok {
+		return nil
+	}
+	if n := max(e.workers, 1); len(pool) > n {
+		pool = pool[:n]
+	}
+	for _, an := range pool {
+		if err := an.Rebind(space); err != nil {
+			return nil
+		}
+	}
+	for len(pool) < max(e.workers, 1) {
+		pool = append(pool, pool[0].Clone())
+	}
+	return pool
+}
+
+// release parks the evaluator's analyzer pool in the shared cache for
+// the next search over the same nest and geometry. Searches defer it;
+// with sharing disabled, or after a padded-nest evaluation rebuilt the
+// pool for a different nest, it is a no-op.
+func (e *evaluator) release() {
+	if e.shared == nil {
+		return
+	}
+	e.mu.Lock()
+	pool, poolNest := e.pool, e.poolNest
+	e.pool, e.poolNest = nil, nil
+	e.mu.Unlock()
+	if poolNest == e.nest && len(pool) > 0 {
+		e.shared.ReturnPool(e.poolKey(), pool)
+	}
+}
+
 // evalSpace evaluates the sample over nest traversed in space order, using
 // the pooled parallel workers. With an observer attached it also reports
-// the evaluation batch and the pool hit/miss counter.
+// the evaluation batch and the pool hit/miss counter. With the shared
+// cache enabled, finalized statistics for the search's base nest are
+// recalled and stored by content key, so repeated requests skip the
+// classification work entirely (the recalled value is the one an
+// evaluation would compute, so results never change).
 func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspace.Space) (cachesim.Stats, error) {
+	statsKey := e.statsKey(nest, space)
+	if statsKey != "" {
+		if st, ok := e.shared.GetStats(statsKey); ok {
+			return st, nil
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ans, reused, err := e.analyzers(nest, space)
@@ -445,6 +562,16 @@ func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspac
 			e.obs.Add(telemetry.Counters{PoolMisses: 1})
 		}
 	}
+	st, err := e.runEval(ctx, ans)
+	if err == nil && statsKey != "" {
+		e.shared.PutStats(statsKey, st)
+	}
+	return st, err
+}
+
+// runEval runs one pooled evaluation, under the stall watchdog when
+// armed. Callers hold e.mu.
+func (e *evaluator) runEval(ctx context.Context, ans []*cme.Analyzer) (cachesim.Stats, error) {
 	if e.stall <= 0 {
 		return e.sample.EvaluateObservedIsland(ctx, ans, e.obs, e.island)
 	}
@@ -455,6 +582,49 @@ func (e *evaluator) evalSpace(ctx context.Context, nest *ir.Nest, space iterspac
 		func(wctx context.Context) (cachesim.Stats, error) {
 			return e.sample.EvaluateObservedIsland(wctx, ans, e.obs, e.island)
 		})
+}
+
+// statsKey returns the shared-cache key for finalized statistics of the
+// search's base nest over space, or "" when the evaluation is not
+// shareable: sharing disabled, a per-candidate mutated (padded) nest, or
+// an iteration-space shape without a canonical encoding.
+func (e *evaluator) statsKey(nest *ir.Nest, space iterspace.Space) string {
+	if e.shared == nil || nest != e.nest {
+		return ""
+	}
+	shape, ok := spaceKey(space)
+	if !ok {
+		return ""
+	}
+	return evalcache.Scope("stats", e.nestKey, e.cfgKey, e.sampleFP, shape)
+}
+
+// spaceKey canonically encodes the iteration-space shapes the searches
+// evaluate. Unknown implementations are not cacheable.
+func spaceKey(space iterspace.Space) (string, bool) {
+	switch s := space.(type) {
+	case *iterspace.Box:
+		return "box", true
+	case *iterspace.Tiled:
+		return "tiled|" + intsKey(s.Tile), true
+	case *iterspace.PermutedTiled:
+		order := make([]int64, len(s.Order))
+		for i, d := range s.Order {
+			order[i] = int64(d)
+		}
+		return "ptiled|" + intsKey(s.Tile) + "|" + intsKey(order), true
+	default:
+		return "", false
+	}
+}
+
+func intsKey(vs []int64) string {
+	b := make([]byte, 0, 16*len(vs))
+	for _, v := range vs {
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
+	}
+	return string(b)
 }
 
 // watchedStats adapts the generic watchdog to the Stats-returning
@@ -507,6 +677,42 @@ func (e *evaluator) estimate(st cachesim.Stats) sampling.Estimate {
 	return sampling.FromStats(st, len(e.sample.Points), e.conf)
 }
 
+// sharedMemo adapts the shared evaluation cache to the ga.SharedMemo
+// fitness tier. Keys arriving from the GA are raw genome bits; the scope
+// prefix pins them to one evaluation context (phase label, nest content,
+// geometry, sample). Put filters every value that is not a pure function
+// of the key: quarantine sentinels and poisoned or non-finite fitness
+// depend on wall-clock faults, and recalling them in a later run would
+// corrupt its results.
+type sharedMemo struct {
+	c     *evalcache.Cache
+	scope string
+}
+
+func (m *sharedMemo) Get(key string) (float64, bool) {
+	return m.c.GetFitness(m.scope + key)
+}
+
+func (m *sharedMemo) Put(key string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v == math.MaxFloat64 {
+		return
+	}
+	m.c.PutFitness(m.scope+key, v)
+}
+
+// sharedFitnessMemo returns the GA's shared fitness tier for one search
+// phase over this evaluator's nest, geometry and sample (nil when
+// sharing is disabled). extra carries additional scope discriminators —
+// the multi-level search adds every level's geometry and penalty, since
+// its fitness depends on more than the evaluator's single geometry.
+func (e *evaluator) sharedFitnessMemo(label string, extra ...string) ga.SharedMemo {
+	if e.shared == nil {
+		return nil
+	}
+	parts := append([]string{label, e.nestKey, e.cfgKey, e.sampleFP}, extra...)
+	return &sharedMemo{c: e.shared, scope: evalcache.Scope(parts...)}
+}
+
 // TilingResult reports a tile-size search.
 type TilingResult struct {
 	// Tile is the best tile vector found.
@@ -539,10 +745,12 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer ev.release()
 	started := opt.emitStart(nest, "tiling")
 	uppers := make([]int64, nest.Depth())
 	for d := range uppers {
@@ -550,6 +758,9 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	}
 	spec := ga.NewTileSpec(uppers)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling")
+	if gaCfg.SharedMemo == nil {
+		gaCfg.SharedMemo = ev.sharedFitnessMemo("tiling")
+	}
 	if len(gaCfg.SeedValues) == 0 {
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, opt.Cache)
 	}
@@ -727,10 +938,12 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer ev.release()
 	started := opt.emitStart(nest, "tiling-order")
 	k := nest.Depth()
 	uppers := make([]int64, k)
@@ -745,6 +958,9 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	}
 	spec := ga.Spec{Chroms: chroms}
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling-order")
+	if gaCfg.SharedMemo == nil {
+		gaCfg.SharedMemo = ev.sharedFitnessMemo("tiling-order")
+	}
 	if len(gaCfg.SeedValues) == 0 {
 		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
 			seed := make([]int64, len(chroms))
@@ -872,13 +1088,18 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer ev.release()
 	started := opt.emitStart(nest, "padding")
 	spec, decodePlan := paddingSpec(nest, opt.Cache)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "padding")
+	if gaCfg.SharedMemo == nil {
+		gaCfg.SharedMemo = ev.sharedFitnessMemo("padding")
+	}
 	if len(gaCfg.SeedValues) == 0 {
 		// Seed the identity plan: padding should never end worse than
 		// doing nothing.
@@ -1033,10 +1254,12 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer ev.release()
 	started := opt.emitStart(nest, "joint")
 	padSpec, decodePlan := paddingSpec(nest, opt.Cache)
 	uppers := make([]int64, nest.Depth())
@@ -1047,6 +1270,9 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	joint := ga.Spec{Chroms: append(append([]ga.Chromosome(nil), padSpec.Chroms...), tileSpec.Chroms...)}
 	nPad := len(padSpec.Chroms)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, joint), "joint")
+	if gaCfg.SharedMemo == nil {
+		gaCfg.SharedMemo = ev.sharedFitnessMemo("joint")
+	}
 	if len(gaCfg.SeedValues) == 0 {
 		// Seed zero-padding combined with each tile heuristic.
 		for _, tile := range tileSeeds(nest, ev.box, opt.Cache) {
@@ -1125,10 +1351,12 @@ func ExhaustiveTiling(ctx context.Context, nest *ir.Nest, opt Options, limit uin
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, cachesim.Stats{}, err
 	}
+	defer ev.release()
 	k := nest.Depth()
 	total := uint64(1)
 	for d := 0; d < k; d++ {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/cme"
+	"repro/internal/evalcache"
 	"repro/internal/ga"
 	"repro/internal/ir"
 	"repro/internal/iterspace"
@@ -67,10 +69,12 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()
+	opt = opt.sharedScoped(ctx)
 	ev, err := newEvaluator(nest, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer ev.release()
 	started := opt.emitStart(nest, "multilevel")
 	uppers := make([]int64, nest.Depth())
 	for d := range uppers {
@@ -78,6 +82,17 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 	}
 	spec := ga.NewTileSpec(uppers)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "multilevel")
+	if gaCfg.SharedMemo == nil {
+		// The multi-level fitness depends on every level's geometry and
+		// penalty, not just the evaluator's level-0 geometry: widen the
+		// scope so hierarchies differing in any level never share values.
+		extra := make([]string, 0, 2*len(levels))
+		for _, l := range levels {
+			extra = append(extra, evalcache.ConfigKey(l.Cache),
+				strconv.FormatFloat(l.MissPenalty, 'g', -1, 64))
+		}
+		gaCfg.SharedMemo = ev.sharedFitnessMemo("multilevel", extra...)
+	}
 	if len(gaCfg.SeedValues) == 0 {
 		gaCfg.SeedValues = tileSeeds(nest, ev.box, levels[0].Cache)
 	}

@@ -15,6 +15,18 @@ import (
 // MINIMISE (the paper minimises the number of replacement misses).
 type Objective func(values []int64) float64
 
+// SharedMemo is a cross-run memo tier for finished objective values,
+// keyed by the individual's raw genome bits. The caller scopes keys to
+// the evaluation context (nest, geometry, sample, phase) before handing
+// the memo to a run, so the run itself only sees genome keys. Get
+// returns a previously Put value; Put offers a freshly computed value
+// (implementations may drop it, e.g. under a size bound). Both must be
+// safe for concurrent use — islands of one run share the memo.
+type SharedMemo interface {
+	Get(key string) (float64, bool)
+	Put(key string, value float64)
+}
+
 // CrossoverKind selects the recombination operator.
 type CrossoverKind int
 
@@ -86,6 +98,19 @@ type Config struct {
 	// shares obj, which must then be safe for concurrent calls.
 	IslandObjective func(island int) Objective
 
+	// SharedMemo, when non-nil, is a second memo tier behind the run's
+	// own memo table: finished objective values shared across runs (and
+	// across islands of one run). A lookup that misses the local memo
+	// consults the shared tier before computing; either way the value is
+	// stored locally, and freshly computed values are offered back via
+	// Put. Determinism contract: the shared tier must be result-
+	// transparent — Get may only return values that Put stored for the
+	// exact same key, and a shared hit counts against MaxEvaluations
+	// exactly like the computation it replaced, so a run's trajectory
+	// (generations, budget stops, checkpoints) is bit-identical whether
+	// the shared tier is cold, warm, or absent. Implementations must be
+	// safe for concurrent use.
+	SharedMemo SharedMemo
 	// MaxEvaluations caps the number of distinct objective evaluations
 	// (0 = unlimited). When the budget runs out the search halts with
 	// StopBudget and returns the best individual evaluated so far. The
@@ -285,6 +310,11 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 	// false when the run must halt first; the individual is then left
 	// unevaluated. force skips the halt check so the very first candidate
 	// of a run is always evaluated and a best-so-far always exists.
+	//
+	// The shared tier sits strictly behind the local memo and the halt
+	// check: a shared hit replaces only the computation, spending the
+	// budget and filling the local memo exactly as the computation would,
+	// so the run's trajectory is identical cold or warm.
 	eval := func(ind *individual, force bool) bool {
 		key := string(ind.bits)
 		if v, ok := memo[key]; ok {
@@ -301,9 +331,20 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		if halted {
 			return false
 		}
+		if cfg.SharedMemo != nil {
+			if v, ok := cfg.SharedMemo.Get(key); ok {
+				ind.value = v
+				memo[key] = v
+				evals++
+				return true
+			}
+		}
 		ind.value = obj(spec.Decode(ind.bits))
 		memo[key] = ind.value
 		evals++
+		if cfg.SharedMemo != nil {
+			cfg.SharedMemo.Put(key, ind.value)
+		}
 		return true
 	}
 

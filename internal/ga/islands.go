@@ -150,9 +150,27 @@ func (d *deme) evalFn(ctx context.Context) func(*individual, bool) bool {
 		if d.halted {
 			return false
 		}
+		// Shared tier behind the local memo and halt check, exactly like
+		// the single-population eval: a hit spends this deme's budget and
+		// fills its memo as the computation would, so deme trajectories
+		// are identical cold or warm. Demes also exchange finished values
+		// through the shared tier, which is safe on the same grounds as
+		// migrated memo entries: islands must compute identical values for
+		// identical genomes.
+		if d.cfg.SharedMemo != nil {
+			if v, ok := d.cfg.SharedMemo.Get(key); ok {
+				ind.value = v
+				d.memo[key] = v
+				d.evals++
+				return true
+			}
+		}
 		ind.value = d.obj(d.spec.Decode(ind.bits))
 		d.memo[key] = ind.value
 		d.evals++
+		if d.cfg.SharedMemo != nil {
+			d.cfg.SharedMemo.Put(key, ind.value)
+		}
 		return true
 	}
 }

@@ -1,0 +1,124 @@
+package ga
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mapMemo is a minimal SharedMemo: a locked map plus op counters.
+type mapMemo struct {
+	mu        sync.Mutex
+	m         map[string]float64
+	gets, hit int
+}
+
+func newMapMemo() *mapMemo { return &mapMemo{m: map[string]float64{}} }
+
+func (mm *mapMemo) Get(key string) (float64, bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.gets++
+	v, ok := mm.m[key]
+	if ok {
+		mm.hit++
+	}
+	return v, ok
+}
+
+func (mm *mapMemo) Put(key string, value float64) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.m[key] = value
+}
+
+// countingObjective is the deterministic test objective with a call
+// counter (atomic: island demes evaluate concurrently), so tests can
+// see which evaluations the memo absorbed.
+func countingObjective(calls *atomic.Int64) Objective {
+	return func(values []int64) float64 {
+		calls.Add(1)
+		var s float64
+		for i, v := range values {
+			s += float64(v%97) * float64(i+1)
+		}
+		return s
+	}
+}
+
+// TestSharedMemoIslandTransparent: for a fixed seed, a run is
+// bit-identical with no shared memo, a cold one, and a pre-warmed one —
+// at one island and at four — and a warm run absorbs objective calls
+// without changing the reported evaluation count (a shared hit spends
+// the budget exactly like the evaluation it replaced).
+func TestSharedMemoIslandTransparent(t *testing.T) {
+	spec := NewTileSpec([]int64{64, 64, 64})
+	for _, islands := range []int{1, 4} {
+		cfg := PaperConfig(11)
+		cfg.Islands = islands
+		var baseCalls atomic.Int64
+		base, err := Run(context.Background(), spec, countingObjective(&baseCalls), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		memo := newMapMemo()
+		cfg.SharedMemo = memo
+		var coldCalls atomic.Int64
+		cold, err := Run(context.Background(), spec, countingObjective(&coldCalls), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Best, cold.Best) || base.BestValue != cold.BestValue ||
+			base.Evaluations != cold.Evaluations || base.Generations != cold.Generations {
+			t.Fatalf("islands=%d: cold shared memo changed the run: %+v vs %+v", islands, base, cold)
+		}
+		// A cold memo adds no work at one island; at several it may
+		// already absorb duplicates across demes — never add calls.
+		if c := coldCalls.Load(); c > baseCalls.Load() || (islands == 1 && c != baseCalls.Load()) {
+			t.Fatalf("islands=%d: cold run made %d objective calls, baseline %d", islands, c, baseCalls.Load())
+		}
+
+		var warmCalls atomic.Int64
+		warm, err := Run(context.Background(), spec, countingObjective(&warmCalls), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Best, warm.Best) || base.BestValue != warm.BestValue ||
+			base.Evaluations != warm.Evaluations || base.Generations != warm.Generations {
+			t.Fatalf("islands=%d: warm shared memo changed the run: %+v vs %+v", islands, base, warm)
+		}
+		if warmCalls.Load() >= baseCalls.Load() {
+			t.Fatalf("islands=%d: warm run made %d objective calls, want fewer than %d", islands, warmCalls.Load(), baseCalls.Load())
+		}
+		if memo.hit == 0 {
+			t.Fatalf("islands=%d: warm run recorded no shared-memo hits (%d gets)", islands, memo.gets)
+		}
+	}
+}
+
+// TestSharedMemoConsultedAfterLocal: a value present in the shared tier
+// for a genome the run evaluates repeatedly is fetched once — later
+// occurrences are served by the run's local memo, which never touches
+// the shared tier.
+func TestSharedMemoConsultedAfterLocal(t *testing.T) {
+	spec := NewTileSpec([]int64{16, 16})
+	cfg := PaperConfig(3)
+	var calls atomic.Int64
+	if _, err := Run(context.Background(), spec, countingObjective(&calls), cfg); err != nil {
+		t.Fatal(err)
+	}
+	memo := newMapMemo()
+	cfg.SharedMemo = memo
+	res, err := Run(context.Background(), spec, countingObjective(&calls), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every shared Get must correspond to one budget-spending evaluation:
+	// local-memo hits bypass the shared tier entirely.
+	if memo.gets != res.Evaluations {
+		t.Fatalf("shared memo consulted %d times for %d evaluations", memo.gets, res.Evaluations)
+	}
+}

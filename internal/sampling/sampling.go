@@ -8,6 +8,9 @@ package sampling
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -229,6 +232,30 @@ func Draw(box *iterspace.Box, n int, rng *rand.Rand) *Sample {
 		s.Points[i] = p
 	}
 	return s
+}
+
+// Fingerprint returns a canonical content hash of the sample: two samples
+// fingerprint equally iff they hold the same points in the same order.
+// Because the fitness of a candidate is a pure function of (nest, cache
+// geometry, sample, genome), the fingerprint is what makes sampled
+// evaluation results safely shareable across searches and requests — two
+// searches over the same nest that drew the same sample may exchange
+// results no matter which seeds or budgets drove them.
+func (s *Sample) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	w(int64(len(s.Points)))
+	for _, p := range s.Points {
+		w(int64(len(p)))
+		for _, c := range p {
+			w(c)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Evaluate classifies every reference at every sampled point under the

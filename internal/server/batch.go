@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// maxBatchItems bounds one batch request: enough to tile every catalog
+// kernel in one call, small enough that a single client cannot occupy the
+// whole admission queue.
+const maxBatchItems = 16
+
+// BatchRequest is the JSON body of POST /v1/tile/batch: an ordered list
+// of tile requests answered in one call.
+type BatchRequest struct {
+	Requests []TileRequest `json:"requests"`
+}
+
+// BatchItem is one NDJSON line of the batch response. Items stream in
+// completion order — Index maps each line back to its request. Exactly
+// one of Result and Error is set; Result carries the same bytes POST
+// /v1/tile would have answered with, so batch and single-request answers
+// are byte-identical per item.
+type BatchItem struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Outcome and Source mirror the single-request telemetry: outcome
+	// "ok"/"degraded"/"fallback", source "hit"/"miss"/"coalesced"/
+	// "bypass" ("" on error lines).
+	Outcome string `json:"outcome,omitempty"`
+	Source  string `json:"source,omitempty"`
+}
+
+// ndjsonWriter serializes concurrent item completions onto one response
+// stream, flushing each line so clients see results as they finish.
+type ndjsonWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	f  http.Flusher
+}
+
+func (nw *ndjsonWriter) write(item BatchItem) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	_, _ = nw.w.Write(append(mustJSON(item), '\n'))
+	if nw.f != nil {
+		nw.f.Flush()
+	}
+}
+
+// handleBatch answers POST /v1/tile/batch. Every item is admitted
+// individually against the same bounded gate as single requests — a batch
+// does not get to jump the queue, and one shed item degrades to an error
+// line instead of failing the batch. Items run concurrently (bounded by
+// the gate), deduplicate through the same singleflight group and result
+// cache as /v1/tile, and stream back as NDJSON in completion order.
+// Malformed bodies, empty batches and oversized batches are rejected
+// whole with 400 before any item runs; per-item validation failures
+// become error lines so the valid items still get answers.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var batch BatchRequest
+	if err := decodeJSON(w, r, &batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if len(batch.Requests) > maxBatchItems {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch exceeds the server limit of " + strconv.Itoa(maxBatchItems) + " items"})
+		return
+	}
+
+	// Normalize before streaming starts: invalid items are decided (and
+	// reported as error lines) without spending an admission slot.
+	norms := make([]*normRequest, len(batch.Requests))
+	errs := make([]error, len(batch.Requests))
+	for i, req := range batch.Requests {
+		norms[i], errs[i] = s.normalize(req)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Tilingd-Batch", strconv.Itoa(len(batch.Requests)))
+	w.WriteHeader(http.StatusOK)
+	f, _ := w.(http.Flusher)
+	out := &ndjsonWriter{w: w, f: f}
+
+	started := s.cfg.Now()
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		if errs[i] != nil {
+			out.write(BatchItem{Index: i, Error: errs[i].Error()})
+			continue
+		}
+		wg.Add(1)
+		go func(i int, norm *normRequest) {
+			defer wg.Done()
+			out.write(s.batchItem(r, norm, i, started))
+		}(i, norms[i])
+	}
+	wg.Wait()
+}
+
+// batchItem runs one admitted batch item through the shared serve path
+// and renders its NDJSON line. The request lifecycle telemetry is the
+// same as a single request's: each item is accepted and done on its own.
+func (s *Server) batchItem(r *http.Request, norm *normRequest, index int, started time.Time) BatchItem {
+	finish, _, reason := s.admitCtx(r.Context())
+	if finish == nil {
+		s.emit(telemetry.RequestShed{Reason: reason})
+		return BatchItem{Index: index, Error: "overloaded: " + reason}
+	}
+	defer finish()
+	id := s.reqID.Add(1)
+	s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
+	body, outcome, source, err := s.serve(r.Context(), norm)
+	if err != nil {
+		s.emit(telemetry.RequestDone{ID: id, Outcome: "error", Elapsed: s.cfg.Now().Sub(started)})
+		return BatchItem{Index: index, Error: err.Error()}
+	}
+	s.emit(telemetry.RequestDone{
+		ID: id, Outcome: outcome, CacheHit: source == "hit",
+		Elapsed: s.cfg.Now().Sub(started),
+	})
+	return BatchItem{Index: index, Result: body, Outcome: outcome, Source: source}
+}

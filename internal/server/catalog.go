@@ -1,0 +1,46 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/kernels"
+)
+
+// KernelInfo describes one catalog kernel in the GET /v1/kernels listing:
+// everything a client needs to build a tile request without reading the
+// paper — the name to put in TileRequest.Kernel, the size range the paper
+// evaluates, and whether the kernel's residual misses are conflict-bound
+// (tiling alone will not cure them; padding would).
+type KernelInfo struct {
+	Name          string  `json:"name"`
+	Program       string  `json:"program"`
+	Description   string  `json:"description"`
+	Depth         int     `json:"depth"`
+	DefaultSize   int64   `json:"defaultSize"`
+	Sizes         []int64 `json:"sizes,omitempty"`
+	ConflictBound bool    `json:"conflictBound,omitempty"`
+}
+
+// kernelList is the GET /v1/kernels body.
+type kernelList struct {
+	Kernels []KernelInfo `json:"kernels"`
+}
+
+// handleKernels answers GET /v1/kernels with the Table-1 catalog in
+// stable name order.
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	all := kernels.All()
+	out := kernelList{Kernels: make([]KernelInfo, len(all))}
+	for i, k := range all {
+		out.Kernels[i] = KernelInfo{
+			Name:          k.Name,
+			Program:       k.Program,
+			Description:   k.Description,
+			Depth:         k.Depth,
+			DefaultSize:   k.DefaultSize,
+			Sizes:         k.Sizes,
+			ConflictBound: k.ConflictBound,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

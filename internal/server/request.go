@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/cache"
@@ -231,7 +232,20 @@ func (n *normRequest) options(s *Server) core.Options {
 		StallTimeout:   s.cfg.StallTimeout,
 		FailurePolicy:  core.FailQuarantine,
 		Observer:       s.cfg.Observer,
+		SharedCache:    s.evalCache,
 	}
+}
+
+// maxRequestBytes bounds every request body the service decodes.
+const maxRequestBytes = 1 << 20
+
+// decodeJSON is the one decode path for every POST body (/v1/tile and
+// /v1/tile/batch): bounded read, unknown fields rejected. Validation and
+// default-filling then happen in normalize, also shared by both.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 // ratio converts a sampling estimate into its response form.

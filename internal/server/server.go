@@ -14,6 +14,13 @@
 //   - a circuit breaker takes the GA out of rotation when searches fail
 //     repeatedly and serves the capacity-heuristic fallback tile, tagged
 //     degraded, until a half-open probe proves the search healthy again;
+//   - a process-wide shared evaluation cache memoizes per-candidate
+//     fitness values, finalized stats and analyzer pools across requests,
+//     so even requests differing in seed or mode reuse each other's work
+//     over the same kernel and geometry — without changing any result;
+//   - POST /v1/tile/batch answers up to 16 kernels in one call, streaming
+//     per-item NDJSON results as they finish, with per-item admission
+//     against the same bounded gate and the same singleflight coalescing;
 //   - a graceful drain answers every accepted in-flight request before
 //     the process exits, cancelling stragglers down to their best-so-far
 //     results when the grace period runs out.
@@ -24,7 +31,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"net/http"
 	"runtime"
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
@@ -58,6 +65,14 @@ type Config struct {
 	StallTimeout time.Duration
 	// CacheEntries bounds the LRU result cache (0 = 512).
 	CacheEntries int
+	// EvalCacheEntries bounds the process-wide shared evaluation cache
+	// that search pipelines consult across requests (0 = the evalcache
+	// default, negative = disabled). Unlike the result cache — which
+	// serves whole response bodies for byte-identical requests — the
+	// evaluation cache memoizes per-candidate fitness values and analyzer
+	// pools, so even requests differing in seed or mode reuse each
+	// other's work over the same kernel and geometry.
+	EvalCacheEntries int
 	// BreakerThreshold is the consecutive-failure count that trips the
 	// circuit breaker (0 = 5); BreakerCooldown is how long it stays open
 	// before a half-open probe (0 = 30s).
@@ -128,6 +143,10 @@ type Server struct {
 	breaker *breaker
 	reqID   atomic.Uint64
 
+	// evalCache is the process-wide shared evaluation cache (nil when
+	// disabled); every search this server runs shares it.
+	evalCache *evalcache.Cache
+
 	// mu serializes admission against Drain: a request is either counted
 	// in wg before the drain flips draining, or rejected after.
 	mu       sync.Mutex
@@ -147,23 +166,35 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(faultinject.With(context.Background(), cfg.Faults))
+	var ec *evalcache.Cache
+	if cfg.EvalCacheEntries >= 0 {
+		ec = evalcache.New(evalcache.Config{
+			MaxEntries: cfg.EvalCacheEntries,
+			Observer:   cfg.Observer,
+		})
+	}
 	return &Server{
 		cfg:          cfg,
 		gate:         newGate(cfg.MaxConcurrent, cfg.QueueDepth),
 		cache:        newResultCache(cfg.CacheEntries),
 		flight:       newFlightGroup(),
 		breaker:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now, cfg.Observer),
+		evalCache:    ec,
 		searchCtx:    ctx,
 		cancelSearch: cancel,
 	}
 }
 
-// Handler returns the service's HTTP surface: POST /v1/tile and
-// GET /healthz. The command additionally mounts /debug/vars.
+// Handler returns the service's HTTP surface, mounted on an explicit
+// versioned router: POST /v1/tile, POST /v1/tile/batch, GET /v1/kernels
+// and GET /healthz. Method mismatches are answered by the mux with 405.
+// The command additionally mounts /debug/vars.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/tile", s.handleTile)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/tile", s.handleTile)
+	mux.HandleFunc("POST /v1/tile/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
@@ -182,26 +213,26 @@ func (s *Server) shed(w http.ResponseWriter, status int, reason string) {
 	writeJSON(w, status, errorResponse{Error: "overloaded: " + reason})
 }
 
-// admit runs the admission decision for one request: drain check, the
-// injectable accept fault, then the bounded gate. On success the request
-// is registered in the drain WaitGroup and holds a run slot; finish must
-// be called exactly once.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (finish func(), ok bool) {
-	if err := s.cfg.Faults.Fire(r.Context(), faultinject.ServerAccept); err != nil {
-		s.shed(w, http.StatusTooManyRequests, "injected")
-		return nil, false
+// admitCtx runs the admission decision for one unit of search work: the
+// injectable accept fault, then the bounded gate, then the drain check.
+// It never writes a response — the single-request handler and the batch
+// streamer render a rejection their own way. On success the work is
+// registered in the drain WaitGroup and holds a run slot; finish must be
+// called exactly once. On rejection it returns the HTTP status and shed
+// reason to report.
+func (s *Server) admitCtx(ctx context.Context) (finish func(), status int, reason string) {
+	if err := s.cfg.Faults.Fire(ctx, faultinject.ServerAccept); err != nil {
+		return nil, http.StatusTooManyRequests, "injected"
 	}
-	release, err := s.gate.acquire(r.Context())
+	release, err := s.gate.acquire(ctx)
 	switch {
 	case errors.Is(err, errQueueFull):
-		s.shed(w, http.StatusTooManyRequests, "queue_full")
-		return nil, false
+		return nil, http.StatusTooManyRequests, "queue_full"
 	case err != nil:
 		// The wait for a run slot ended without one (the request context
 		// expired while queued). Shed like any other overload so the
 		// response carries the Retry-After hint.
-		s.shed(w, http.StatusServiceUnavailable, "slot_timeout")
-		return nil, false
+		return nil, http.StatusServiceUnavailable, "slot_timeout"
 	}
 	// The slot is held. Register against drain — or, if a drain began
 	// while this request was queued, give the slot back and reject: the
@@ -210,23 +241,29 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (finish func(), o
 	if s.draining {
 		s.mu.Unlock()
 		release()
-		s.shed(w, http.StatusServiceUnavailable, "draining")
-		return nil, false
+		return nil, http.StatusServiceUnavailable, "draining"
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
 	return func() {
 		release()
 		s.wg.Done()
-	}, true
+	}, 0, ""
+}
+
+// admit is admitCtx for a plain HTTP request: a rejection is written
+// directly as a shed response.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (finish func(), ok bool) {
+	finish, status, reason := s.admitCtx(r.Context())
+	if finish == nil {
+		s.shed(w, status, reason)
+		return nil, false
+	}
+	return finish, true
 }
 
 // handleTile answers POST /v1/tile.
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
-		return
-	}
 	started := s.cfg.Now()
 	s.mu.Lock()
 	draining := s.draining
@@ -236,9 +273,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req TileRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -256,24 +291,34 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	id := s.reqID.Add(1)
 	s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
 
-	// Result cache first: a hit answers without touching the breaker or
-	// the search pipeline. The cache.get fault point forces the miss path
-	// so chaos runs can prove hit/miss byte-identity.
-	source := "miss"
-	if err := s.cfg.Faults.Fire(r.Context(), faultinject.CacheGet); err != nil {
-		source = "bypass"
-	} else if body, hit := s.cache.get(norm.key); hit {
-		s.respond(w, id, started, body, "ok", "hit")
-		return
-	}
-
-	res, shared, err := s.flight.do(norm.key, func() (computed, error) {
-		return s.compute(norm)
-	})
+	body, outcome, source, err := s.serve(r.Context(), norm)
 	if err != nil {
 		s.emit(telemetry.RequestDone{ID: id, Outcome: "error", Elapsed: s.cfg.Now().Sub(started)})
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
+	}
+	s.respond(w, id, started, body, outcome, source)
+}
+
+// serve resolves one admitted, normalized request to response bytes.
+// Result cache first: a hit answers without touching the breaker or the
+// search pipeline (the cache.get fault point forces the miss path so
+// chaos runs can prove hit/miss byte-identity); misses go through the
+// singleflight group so concurrent identical requests — from /v1/tile or
+// items of a batch — run one search. source labels where the bytes came
+// from: "hit", "miss", "coalesced" or "bypass".
+func (s *Server) serve(ctx context.Context, norm *normRequest) (body []byte, outcome, source string, err error) {
+	source = "miss"
+	if err := s.cfg.Faults.Fire(ctx, faultinject.CacheGet); err != nil {
+		source = "bypass"
+	} else if body, hit := s.cache.get(norm.key); hit {
+		return body, "ok", "hit", nil
+	}
+	res, shared, err := s.flight.do(norm.key, func() (computed, error) {
+		return s.compute(norm)
+	})
+	if err != nil {
+		return nil, "", "", err
 	}
 	if res.cacheable && source != "bypass" {
 		s.cache.put(norm.key, res.body)
@@ -281,7 +326,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		source = "coalesced"
 	}
-	s.respond(w, id, started, res.body, res.outcome, source)
+	return res.body, res.outcome, source, nil
 }
 
 // respond writes one 200 answer and closes the request's telemetry.

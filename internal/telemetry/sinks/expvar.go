@@ -20,6 +20,9 @@ import (
 //	<name>.walk_cap_hits        walk-cap trips (0 in normal operation)
 //	<name>.pool_hits            analyzer-pool rebinds (reuse)
 //	<name>.pool_misses          analyzer-pool rebuilds
+//	<name>.evalcache_hits       shared evaluation-cache recalls
+//	<name>.evalcache_misses     shared evaluation-cache misses
+//	<name>.evalcache_evictions  shared evaluation-cache size-bound drops
 //	<name>.events               total events observed
 //	<name>.events.<kind>        per-kind event tallies
 //	<name>.searches             completed searches (search_stop events)
@@ -99,6 +102,9 @@ func (x *Expvar) Add(c telemetry.Counters) {
 	add("walk_cap_hits", c.WalkCapHits)
 	add("pool_hits", c.PoolHits)
 	add("pool_misses", c.PoolMisses)
+	add("evalcache_hits", c.EvalCacheHits)
+	add("evalcache_misses", c.EvalCacheMisses)
+	add("evalcache_evictions", c.EvalCacheEvictions)
 }
 
 // Map exposes the underlying expvar map (e.g. to compose dashboards).

@@ -151,6 +151,21 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Path  string `json:"path"`
 			Cause string `json:"cause"`
 		}{string(ev.Kind()), ev.Path, ev.Cause}
+	case telemetry.EvalCacheHit:
+		return struct {
+			Ev   string `json:"ev"`
+			Tier string `json:"tier"`
+		}{string(ev.Kind()), ev.Tier}
+	case telemetry.EvalCacheMiss:
+		return struct {
+			Ev   string `json:"ev"`
+			Tier string `json:"tier"`
+		}{string(ev.Kind()), ev.Tier}
+	case telemetry.EvalCacheEvict:
+		return struct {
+			Ev      string `json:"ev"`
+			Evicted int    `json:"evicted"`
+		}{string(ev.Kind()), ev.Evicted}
 	case telemetry.SearchStop:
 		rec := struct {
 			Ev        string  `json:"ev"`
@@ -222,7 +237,11 @@ func (j *JSONL) Close() error {
 		CapHits     uint64 `json:"walk_cap_hits"`
 		PoolHits    uint64 `json:"pool_hits"`
 		PoolMisses  uint64 `json:"pool_misses"`
+		ECacheHits  uint64 `json:"evalcache_hits"`
+		ECacheMiss  uint64 `json:"evalcache_misses"`
+		ECacheEvict uint64 `json:"evalcache_evictions"`
 	}{"counters", c.Evaluations, c.MemoHits, c.SampledPoints, c.WalkSteps,
-		c.ClassifiedAccesses, c.WalkCapHits, c.PoolHits, c.PoolMisses})
+		c.ClassifiedAccesses, c.WalkCapHits, c.PoolHits, c.PoolMisses,
+		c.EvalCacheHits, c.EvalCacheMisses, c.EvalCacheEvictions})
 	return j.err
 }

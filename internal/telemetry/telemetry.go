@@ -55,6 +55,12 @@ const (
 	KindRequestDone     Kind = "request_done"
 	KindBreakerState    Kind = "breaker_state"
 	KindServerDrained   Kind = "server_drained"
+	// The shared evaluation-cache events: a lookup recalled a finished
+	// result across searches/requests, a lookup found nothing, or a
+	// size-bound eviction batch ran (emitted by internal/evalcache).
+	KindEvalCacheHit   Kind = "evalcache_hit"
+	KindEvalCacheMiss  Kind = "evalcache_miss"
+	KindEvalCacheEvict Kind = "evalcache_evict"
 )
 
 // Event is one typed occurrence in a search's life. The concrete types are
@@ -285,6 +291,38 @@ type ServerDrained struct {
 // Kind implements Event.
 func (ServerDrained) Kind() Kind { return KindServerDrained }
 
+// EvalCacheHit reports one shared evaluation-cache lookup that recalled
+// a finished result computed by an earlier search or request.
+type EvalCacheHit struct {
+	// Tier is the cache tier that answered: "fitness" (GA memo entry),
+	// "stats" (finalized per-tile statistics) or "pool" (analyzer pool).
+	Tier string
+}
+
+// Kind implements Event.
+func (EvalCacheHit) Kind() Kind { return KindEvalCacheHit }
+
+// EvalCacheMiss reports one shared evaluation-cache lookup that found
+// nothing; the caller computes and (usually) stores the result.
+type EvalCacheMiss struct {
+	// Tier is the cache tier consulted ("fitness", "stats", "pool").
+	Tier string
+}
+
+// Kind implements Event.
+func (EvalCacheMiss) Kind() Kind { return KindEvalCacheMiss }
+
+// EvalCacheEvict reports one size-bound eviction batch of the shared
+// evaluation cache: the shard was over its bound after an insert and
+// dropped its least-recently-used entries.
+type EvalCacheEvict struct {
+	// Evicted is how many entries this batch removed.
+	Evicted int
+}
+
+// Kind implements Event.
+func (EvalCacheEvict) Kind() Kind { return KindEvalCacheEvict }
+
 // SearchStop closes a search's event stream with its outcome.
 type SearchStop struct {
 	Search string
@@ -329,6 +367,13 @@ type Counters struct {
 	// versus rebuilds (NewAnalyzer + clones).
 	PoolHits   uint64
 	PoolMisses uint64
+	// EvalCacheHits/EvalCacheMisses/EvalCacheEvictions count shared
+	// evaluation-cache lookups that recalled a cross-search result,
+	// lookups that found nothing, and entries dropped by size-bound
+	// eviction.
+	EvalCacheHits      uint64
+	EvalCacheMisses    uint64
+	EvalCacheEvictions uint64
 }
 
 // Plus returns the fieldwise sum c + d.
@@ -342,6 +387,9 @@ func (c Counters) Plus(d Counters) Counters {
 		WalkCapHits:        c.WalkCapHits + d.WalkCapHits,
 		PoolHits:           c.PoolHits + d.PoolHits,
 		PoolMisses:         c.PoolMisses + d.PoolMisses,
+		EvalCacheHits:      c.EvalCacheHits + d.EvalCacheHits,
+		EvalCacheMisses:    c.EvalCacheMisses + d.EvalCacheMisses,
+		EvalCacheEvictions: c.EvalCacheEvictions + d.EvalCacheEvictions,
 	}
 }
 

@@ -43,11 +43,11 @@ func TestMultiFanOut(t *testing.T) {
 // TestCountersPlusIsZero: fieldwise sum and the zero test cover every
 // field (guards against a new counter being forgotten in Plus).
 func TestCountersPlusIsZero(t *testing.T) {
-	one := Counters{1, 1, 1, 1, 1, 1, 1, 1}
+	one := Counters{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
 	if one.IsZero() || !(Counters{}).IsZero() {
 		t.Fatal("IsZero misclassifies")
 	}
-	if got := one.Plus(one); got != (Counters{2, 2, 2, 2, 2, 2, 2, 2}) {
+	if got := one.Plus(one); got != (Counters{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}) {
 		t.Fatalf("Plus = %+v", got)
 	}
 }

@@ -23,7 +23,7 @@ func TestFacadeBoundedSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, MaxEvaluations: 10}
-	res, err := cmetiling.OptimizeTilingContext(context.Background(), nest, opt)
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatalf("budget surfaced as error: %v", err)
 	}
@@ -35,7 +35,7 @@ func TestFacadeBoundedSearch(t *testing.T) {
 	}
 
 	opt = cmetiling.Options{Cache: cmetiling.DM8K, Seed: 3, Deadline: time.Nanosecond}
-	res, err = cmetiling.OptimizeTilingContext(context.Background(), nest, opt)
+	res, err = cmetiling.OptimizeTiling(context.Background(), nest, opt)
 	if err != nil {
 		t.Fatalf("deadline surfaced as error: %v", err)
 	}
@@ -73,7 +73,7 @@ func TestFacadeCheckpointRoundTrip(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := cmetiling.OptimizeTilingContext(ctx, nest, opt); err != nil {
+	if _, err := cmetiling.OptimizeTiling(ctx, nest, opt); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test for tilingd: build, start on a free port, probe
-# /healthz, run one real tiling request, verify the cache answers the
-# repeat byte-identically, then SIGTERM and require a clean drained exit.
+# /healthz, list the kernel catalog, run one real tiling request, verify
+# the cache answers the repeat byte-identically, run a batch request and
+# check its NDJSON stream, then SIGTERM and require a clean drained exit.
 set -eu
 
 workdir=$(mktemp -d)
@@ -38,6 +39,10 @@ echo "serve-smoke: daemon up at $addr"
 curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' || {
     echo "serve-smoke: health probe failed"; exit 1; }
 
+curl -fsS "http://$addr/v1/kernels" | grep -q '"name":"MM"' || {
+    echo "serve-smoke: kernel catalog missing MM"; exit 1; }
+echo "serve-smoke: catalog lists MM"
+
 req='{"kernel":"MM","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000}'
 curl -fsS -o "$workdir/resp1" "http://$addr/v1/tile" -d "$req"
 grep -q '"tile":\[' "$workdir/resp1" || {
@@ -49,8 +54,24 @@ curl -fsS -o "$workdir/resp2" "http://$addr/v1/tile" -d "$req"
 cmp -s "$workdir/resp1" "$workdir/resp2" || {
     echo "serve-smoke: cache hit differs from miss"; exit 1; }
 
+# Batch: one cached item, one fresh, streamed as NDJSON. Item 0 repeats
+# the single request above so its result must be the exact cached bytes.
+batch='{"requests":[{"kernel":"MM","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000},{"kernel":"T2D","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000}]}'
+curl -fsS -o "$workdir/batch" "http://$addr/v1/tile/batch" -d "$batch"
+[ "$(wc -l < "$workdir/batch")" -eq 2 ] || {
+    echo "serve-smoke: batch stream not 2 NDJSON lines:"; cat "$workdir/batch"; exit 1; }
+grep -q '"index":0' "$workdir/batch" && grep -q '"index":1' "$workdir/batch" || {
+    echo "serve-smoke: batch stream missing an index:"; cat "$workdir/batch"; exit 1; }
+grep -q '"error"' "$workdir/batch" && {
+    echo "serve-smoke: batch stream carries an error line:"; cat "$workdir/batch"; exit 1; }
+grep '"index":0' "$workdir/batch" | grep -qF "$(cat "$workdir/resp1")" || {
+    echo "serve-smoke: batch item 0 differs from the cached single answer"; exit 1; }
+echo "serve-smoke: batch answered both items"
+
 curl -fsS "http://$addr/debug/vars" | grep -q 'requests_accepted' || {
     echo "serve-smoke: expvar counters missing"; exit 1; }
+curl -fsS "http://$addr/debug/vars" | grep -q 'evalcache_' || {
+    echo "serve-smoke: expvar evalcache counters missing"; exit 1; }
 
 echo "serve-smoke: draining"
 kill -TERM "$daemon_pid"
