@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz bench-json depcheck chaos lint serve-smoke islands
+.PHONY: verify build test vet race fuzz bench-json depcheck chaos lint serve-smoke islands crash-chaos
 
-verify: vet build depcheck lint race chaos islands
+verify: vet build depcheck lint race chaos islands crash-chaos
 
 # Static analysis beyond vet. Both tools are optional: they are skipped
 # with a note when not installed (the container image does not bake them
@@ -64,6 +64,15 @@ chaos:
 	$(GO) test -run 'Chaos|Fault|Corrupt|Quarantine|Watchdog|Watched|Retr|AtExit|Checkpoint|Inject|Stall' . ./internal/core ./internal/cliutil ./internal/sampling ./internal/ga ./internal/telemetry/sinks ./internal/server
 	$(GO) test ./internal/faultinject ./internal/retry
 	$(GO) test -race -run 'Chaos|Corrupt' . ./internal/server
+
+# Crash-recovery bar: the durable request journal (torn tails, CRC
+# mismatches, rotation, compaction), tilingd's idempotency and recovery
+# paths, and the SIGKILL-the-daemon suite — kill mid-search, restart,
+# require zero lost accepted requests and a recovered response
+# bit-identical to the crash-free run. All under the race detector.
+crash-chaos:
+	$(GO) test -race -count=1 ./internal/journal
+	$(GO) test -race -count=1 -run 'CrashChaos|Journal|Idempotent|Restart|Recover|StateDir' . ./internal/server
 
 # Island-model invariance bar: determinism at every island count, the
 # Islands=1 ≡ single-population equivalence, and checkpoint/resume

@@ -9,10 +9,18 @@
 // searches keep failing, and a SIGTERM drain that answers every accepted
 // request before exiting.
 //
+// With -state-dir it also survives crashes: every accepted request is
+// journaled durably before its search runs, in-flight searches persist
+// resumable generation-boundary checkpoints, and a restart replays the
+// journal — duplicate idempotent retries (the Idempotency-Key header)
+// get the recorded response bytes, interrupted searches resume from
+// their latest snapshot, and torn or corrupt journal records are
+// quarantined with telemetry instead of refusing to boot.
+//
 // Usage:
 //
-//	tilingd -addr :8080
-//	curl -s localhost:8080/v1/tile -d '{"kernel":"MM","size":500,"cache":"8k","seed":1}'
+//	tilingd -addr :8080 -state-dir /var/lib/tilingd
+//	curl -s localhost:8080/v1/tile -H 'Idempotency-Key: job-17' -d '{"kernel":"MM","size":500,"cache":"8k","seed":1}'
 //	curl -s localhost:8080/v1/tile/batch -d '{"requests":[{"kernel":"MM","cache":"8k","seed":1},{"kernel":"T2D","cache":"8k","seed":1}]}'
 //
 // Endpoints: POST /v1/tile, POST /v1/tile/batch (NDJSON stream),
@@ -33,6 +41,7 @@ import (
 
 	cmetiling "repro"
 	"repro/internal/cliutil"
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -51,12 +60,24 @@ func main() {
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace: searches still running after this are cancelled to best-so-far")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 		islands    = flag.Int("islands", 0, "default GA island count for requests that name none (0 = single population)")
+		stateDir   = flag.String("state-dir", "", "durable state directory (request journal + search checkpoints); empty disables crash recovery")
+		jsync      = flag.String("journal-sync", "always", "journal append durability: always (fsync per record) or none (OS page cache)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 2*time.Second, "min interval between persisted snapshots of one in-flight search (0 = every generation)")
+		readHdrTO  = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: slow-loris defense, closes connections that dribble headers")
+		readTO     = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full request read bound (0 = unbounded)")
+		writeTO    = flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = unbounded; when set it must exceed max-timeout and the longest batch)")
+		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 		traceOut   = flag.String("trace-out", "", "append the server and search telemetry event stream to this JSONL file")
 		faultF     = flag.String("fault-spec", "", "inject deterministic faults, e.g. 'seed=1;server.accept:times=2' (chaos testing)")
 		version    = cliutil.VersionFlag()
 	)
 	flag.Parse()
 	cliutil.HandleVersion("tilingd", version)
+
+	syncMode, err := journal.ParseSyncMode(*jsync)
+	if err != nil {
+		cliutil.Fatal("tilingd", err)
+	}
 
 	var faults *cmetiling.FaultPlan
 	if *faultF != "" {
@@ -84,32 +105,61 @@ func main() {
 		recorders = append(recorders, sink)
 	}
 
-	srv := server.New(server.Config{
-		MaxConcurrent:    *conc,
-		QueueDepth:       *queue,
-		DefaultTimeout:   *defTimeout,
-		MaxTimeout:       *maxTimeout,
-		StallTimeout:     *stall,
-		CacheEntries:     *cacheEnt,
-		EvalCacheEntries: *evalEnt,
-		BreakerThreshold: *brkFails,
-		BreakerCooldown:  *brkCool,
-		RetryAfter:       *retryAfter,
-		DefaultIslands:   *islands,
-		Observer:         cmetiling.MultiRecorder(recorders...),
-		Faults:           faults,
+	srv, err := server.New(server.Config{
+		MaxConcurrent:      *conc,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+		StallTimeout:       *stall,
+		CacheEntries:       *cacheEnt,
+		EvalCacheEntries:   *evalEnt,
+		BreakerThreshold:   *brkFails,
+		BreakerCooldown:    *brkCool,
+		RetryAfter:         *retryAfter,
+		DefaultIslands:     *islands,
+		StateDir:           *stateDir,
+		JournalSync:        syncMode,
+		CheckpointInterval: *ckptEvery,
+		Observer:           cmetiling.MultiRecorder(recorders...),
+		Faults:             faults,
 	})
+	if err != nil {
+		cliutil.Fatal("tilingd", err)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	httpSrv := &http.Server{Handler: mux}
+	// Timeouts on every connection: a client that dribbles its headers or
+	// never reads its response cannot pin a connection (and its goroutine)
+	// forever.
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		cliutil.Fatal("tilingd", err)
 	}
 	fmt.Fprintf(os.Stderr, "tilingd: listening on %s\n", ln.Addr())
+
+	// Recovery runs beside live traffic, through the same admission gate:
+	// every request the journal holds as accepted-but-unanswered is re-run
+	// (resumed from its latest checkpoint when one loads) and its response
+	// recorded for the client's retry.
+	recoverCtx, stopRecover := context.WithCancel(context.Background())
+	defer stopRecover()
+	recovered := make(chan int, 1)
+	go func() { recovered <- srv.Recover(recoverCtx) }()
+	go func() {
+		if n := <-recovered; n > 0 {
+			fmt.Fprintf(os.Stderr, "tilingd: recovered %d journaled request(s)\n", n)
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -125,6 +175,7 @@ func main() {
 	// Drain: finish (or cancel to best-so-far) every accepted request,
 	// then close the listener and idle connections.
 	fmt.Fprintf(os.Stderr, "tilingd: draining (grace %v)\n", *drainWait)
+	stopRecover()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	srv.Drain(dctx)

@@ -244,6 +244,12 @@ type (
 	// CheckpointRecoveredEvent reports a resume that fell back to the
 	// rotated previous-good snapshot.
 	CheckpointRecoveredEvent = telemetry.CheckpointRecovered
+	// JournalRecoveredEvent reports one journaled request replayed after
+	// a tilingd restart (resumed from a checkpoint or re-run fresh).
+	JournalRecoveredEvent = telemetry.JournalRecovered
+	// JournalSkippedEvent reports one torn or corrupt journal record
+	// quarantined during startup replay.
+	JournalSkippedEvent = telemetry.JournalSkipped
 	// EvalCacheHitEvent, EvalCacheMissEvent and EvalCacheEvictEvent
 	// report shared evaluation-cache operations (Options.SharedCache);
 	// the matching monotonic totals ride Counters.
@@ -321,6 +327,8 @@ const (
 	FaultEvalStall       = faultinject.EvalStall
 	FaultCheckpointWrite = faultinject.CheckpointWrite
 	FaultSinkWrite       = faultinject.SinkWrite
+	FaultJournalWrite    = faultinject.JournalWrite
+	FaultJournalReplay   = faultinject.JournalReplay
 )
 
 // ErrStalled marks an evaluation the Options.StallTimeout watchdog gave

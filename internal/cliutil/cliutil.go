@@ -9,6 +9,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -313,11 +314,56 @@ func saveCheckpointOnce(path string, c *ga.Checkpoint) error {
 	return nil
 }
 
+// CheckpointLoadError is the typed error LoadCheckpoint returns when
+// neither the primary snapshot nor its rotated previous-good copy is
+// usable. It keeps both underlying errors so callers (and operators
+// reading logs) can tell a doubly-corrupt state from a doubly-failed
+// read; errors.Is/As see through to both via Unwrap.
+type CheckpointLoadError struct {
+	// Path is the primary checkpoint path.
+	Path string
+	// Primary and Previous are the load failures of path and
+	// PrevCheckpoint(path) respectively.
+	Primary  error
+	Previous error
+}
+
+// Error implements error.
+func (e *CheckpointLoadError) Error() string {
+	return fmt.Sprintf("checkpoint %s: no usable snapshot: primary (%s): %v; previous (%s): %v",
+		e.Path, ClassifyCheckpointError(e.Primary), e.Primary,
+		ClassifyCheckpointError(e.Previous), e.Previous)
+}
+
+// Unwrap exposes both underlying errors to errors.Is/As.
+func (e *CheckpointLoadError) Unwrap() []error { return []error{e.Primary, e.Previous} }
+
+// ClassifyCheckpointError maps a checkpoint load failure onto the cause
+// class reported in CheckpointRecovered telemetry: "missing" (the file
+// does not exist), "corrupt" (the bytes were read but failed decoding or
+// the integrity sum), or "io" (the read itself failed). Returns "" for a
+// nil error.
+func ClassifyCheckpointError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, fs.ErrNotExist):
+		return "missing"
+	case errors.Is(err, ga.ErrCheckpointCorrupt):
+		return "corrupt"
+	default:
+		return "io"
+	}
+}
+
 // LoadCheckpoint reads a snapshot previously written by SaveCheckpoint,
 // falling back to the rotated previous-good copy ("<path>.prev") when the
 // primary is missing, truncated or fails its integrity sum. recovered
 // reports that the fallback was used — the caller resumed one generation
-// behind — and the event is also recorded on obs (which may be nil).
+// behind — and the event is also recorded on obs (which may be nil) with
+// the primary's failure classified (missing, corrupt, or io) so the
+// telemetry trail says *why* the primary was rejected. When both copies
+// fail, the returned error is a *CheckpointLoadError carrying both causes.
 func LoadCheckpoint(path string, obs telemetry.Recorder) (c *ga.Checkpoint, recovered bool, err error) {
 	c, err = loadCheckpointFile(path)
 	if err == nil {
@@ -325,11 +371,12 @@ func LoadCheckpoint(path string, obs telemetry.Recorder) (c *ga.Checkpoint, reco
 	}
 	prev, perr := loadCheckpointFile(PrevCheckpoint(path))
 	if perr != nil {
-		// Neither copy is usable; the primary's error is the one to report.
-		return nil, false, err
+		return nil, false, &CheckpointLoadError{Path: path, Primary: err, Previous: perr}
 	}
 	if obs != nil {
-		obs.Event(telemetry.CheckpointRecovered{Path: path, Cause: err.Error()})
+		obs.Event(telemetry.CheckpointRecovered{
+			Path: path, Cause: err.Error(), Class: ClassifyCheckpointError(err),
+		})
 	}
 	return prev, true, nil
 }

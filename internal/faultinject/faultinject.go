@@ -50,6 +50,15 @@ const (
 	// full-search miss path (the response must still be byte-identical —
 	// the determinism property the chaos suite asserts).
 	CacheGet = "cache.get"
+	// JournalWrite fails one durable request-journal append, so chaos runs
+	// prove the service degrades (sheds the request, or serves it without
+	// a durability guarantee) instead of crashing or silently losing the
+	// record.
+	JournalWrite = "journal.write"
+	// JournalReplay corrupts one journal record during startup replay: the
+	// record is quarantined and counted (journal_skipped) exactly like a
+	// torn or bit-flipped record found on disk, and the boot continues.
+	JournalReplay = "journal.replay"
 )
 
 // knownPoints guards -fault-spec typos: Parse rejects unknown names.
@@ -60,6 +69,8 @@ var knownPoints = map[string]Action{
 	SinkWrite:       Error,
 	ServerAccept:    Error,
 	CacheGet:        Error,
+	JournalWrite:    Error,
+	JournalReplay:   Error,
 }
 
 // Action is what a fault point does when it fires.

@@ -5,11 +5,20 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 )
+
+// ErrCheckpointCorrupt is wrapped by every ReadCheckpoint failure caused
+// by the snapshot's content — undecodable JSON (including a zero-length
+// file) or a failed integrity sum — as opposed to the I/O errors of
+// reading it. Callers use errors.Is to distinguish "the file is bad"
+// (fall back to the previous-good copy, alert on storage) from "the read
+// failed" (alert on the environment).
+var ErrCheckpointCorrupt = errors.New("ga: checkpoint corrupt")
 
 // StopReason explains why a search run terminated. The zero value,
 // StopConverged, is the normal Figure-7 termination (convergence criterion
@@ -266,7 +275,7 @@ func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var c Checkpoint
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
-		return nil, fmt.Errorf("ga: reading checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCheckpointCorrupt, err)
 	}
 	if c.Sum != "" {
 		want := c.Sum
@@ -276,7 +285,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			return nil, fmt.Errorf("ga: re-encoding checkpoint for verification: %w", err)
 		}
 		if got := checkpointSum(body); got != want {
-			return nil, fmt.Errorf("ga: checkpoint integrity: sum %s does not match recorded %s", got, want)
+			return nil, fmt.Errorf("%w: integrity: sum %s does not match recorded %s", ErrCheckpointCorrupt, got, want)
 		}
 		c.Sum = want
 	}

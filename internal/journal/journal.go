@@ -1,0 +1,553 @@
+// Package journal is a crash-safe write-ahead request journal for
+// tilingd: every accepted tiling request is recorded durably before its
+// search runs, progress snapshots and the final response bytes are
+// appended as the request advances, and a restart replays the whole
+// trail to (a) serve duplicate idempotent retries the exact recorded
+// bytes and (b) resume interrupted searches from their latest snapshot.
+//
+// On-disk layout (one directory):
+//
+//	seg-00000001.wal
+//	seg-00000002.wal      <- active segment, append-only
+//
+// Each segment is JSONL: one frame per line,
+//
+//	{"crc":"<crc32c hex of rec bytes>","rec":{...record...}}
+//
+// so a torn tail (a crash mid-append), a bit flip, or an injected
+// journal.replay fault disqualifies exactly one line. Replay quarantines
+// such records — counted and reported as journal_skipped telemetry —
+// and keeps going; corruption never refuses a boot.
+//
+// Records are ordered by a monotonic sequence number and keyed by the
+// request's idempotency key; replay folds them last-wins into per-key
+// entries. Open compacts on startup: after replaying the existing
+// segments it rewrites the live state (unfinished requests in full, the
+// most recent completed responses for idempotent retries) into a fresh
+// segment and deletes the old ones, so the journal's size is bounded by
+// the live state, not the request history. A crash mid-compaction is
+// harmless: old segments are removed only after the fresh one is synced,
+// and replaying both yields the same folded state.
+//
+// Appends follow the cliutil checkpoint durability discipline scoped to
+// a log: segments are created exclusively, each record is written in one
+// Write call and (under SyncAlways) fsynced before Append returns, and
+// the directory entry is synced when segments rotate.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Op is the lifecycle stage a record marks.
+type Op string
+
+// The record operations, in lifecycle order.
+const (
+	// OpAccepted journals a request past admission, before its search
+	// runs: the idempotency key, the canonical cache key and the original
+	// request body (so a restart can re-normalize and re-run it).
+	OpAccepted Op = "accepted"
+	// OpStarted marks the search actually beginning (it left the queue).
+	OpStarted Op = "started"
+	// OpCheckpointed records that a resumable generation-boundary
+	// snapshot of the in-flight search was persisted at Checkpoint.
+	OpCheckpointed Op = "checkpointed"
+	// OpDone closes a request with its exact response bytes and outcome;
+	// duplicate idempotent retries are served these bytes verbatim.
+	OpDone Op = "done"
+)
+
+// Record is one journal entry. Fields are populated per Op; Seq is
+// assigned by Append.
+type Record struct {
+	Op  Op     `json:"op"`
+	Seq uint64 `json:"seq"`
+	// Key is the request's idempotency key — the identity records fold
+	// under during replay.
+	Key string `json:"key"`
+	// CacheKey is the canonical request hash (accepted records).
+	CacheKey string `json:"cacheKey,omitempty"`
+	// Request is the original request body (accepted records), kept
+	// verbatim so replay re-normalizes exactly what the client sent.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Checkpoint is the snapshot path (checkpointed records); Gen the
+	// last completed generation it captures.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Gen        int    `json:"gen,omitempty"`
+	// Response is the exact response bytes (done records); Outcome the
+	// request outcome ("ok", "degraded", "fallback", "error").
+	Response []byte `json:"response,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+}
+
+// frame is the CRC envelope around one record line.
+type frame struct {
+	CRC string          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// castagnoli is the CRC32-C table (the polynomial storage systems use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcOf renders the checksum of a record's raw bytes.
+func crcOf(rec []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(rec, castagnoli))
+}
+
+// SyncMode selects the append durability level.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an Append that returned is on
+	// stable storage. The default.
+	SyncAlways SyncMode = iota
+	// SyncNone leaves flushing to the OS page cache: faster, but a crash
+	// may lose the most recent appends (replay still recovers everything
+	// older, and torn tails are quarantined as usual).
+	SyncNone
+)
+
+// ParseSyncMode maps the -journal-sync flag values onto a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("journal: unknown sync mode %q (want always or none)", s)
+}
+
+// Options configures Open. The zero value is production-shaped.
+type Options struct {
+	// Sync is the append durability level (default SyncAlways).
+	Sync SyncMode
+	// MaxSegmentBytes bounds the active segment before rotation
+	// (0 = 4 MiB).
+	MaxSegmentBytes int64
+	// KeepDone bounds how many completed entries startup compaction
+	// retains for idempotent retries, newest first (0 = 1024,
+	// negative = none).
+	KeepDone int
+	// Faults arms the journal.write / journal.replay fault points.
+	Faults *faultinject.Plan
+	// Observer receives JournalSkipped events for quarantined records.
+	Observer telemetry.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	if o.KeepDone == 0 {
+		o.KeepDone = 1024
+	}
+	return o
+}
+
+// Entry is the folded per-key replay state: the latest information the
+// journal holds about one request.
+type Entry struct {
+	// Seq is the sequence number of the entry's accepted record (or the
+	// first record seen for the key).
+	Seq uint64
+	// Key, CacheKey and Request mirror the accepted record.
+	Key      string
+	CacheKey string
+	Request  json.RawMessage
+	// Started reports an OpStarted record was seen.
+	Started bool
+	// Checkpoint and Gen are the latest persisted snapshot (if any).
+	Checkpoint string
+	Gen        int
+	// Done, Response and Outcome mirror the done record.
+	Done     bool
+	Response []byte
+	Outcome  string
+}
+
+// State is the result of replaying a journal directory.
+type State struct {
+	// Entries holds the folded per-key state in first-seen order.
+	Entries []*Entry
+	// Skipped counts quarantined records (torn tail, CRC mismatch,
+	// undecodable frame, injected replay fault).
+	Skipped int
+	// maxSeq is the highest sequence number seen, so appends continue
+	// monotonically across restarts.
+	maxSeq uint64
+}
+
+// Incomplete returns the entries that were accepted but never finished —
+// the requests a restart must resume or re-run.
+func (s *State) Incomplete() []*Entry {
+	var out []*Entry
+	for _, e := range s.Entries {
+		if !e.Done {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Completed returns the entries holding recorded response bytes, in
+// first-seen order.
+func (s *State) Completed() []*Entry {
+	var out []*Entry
+	for _, e := range s.Entries {
+		if e.Done {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Journal is an open, appendable journal. Safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	seg      *os.File
+	segName  string
+	segIndex int
+	segSize  int64
+	seq      uint64
+	closed   bool
+}
+
+// segmentName renders the file name of segment index i.
+func segmentName(i int) string { return fmt.Sprintf("seg-%08d.wal", i) }
+
+// segments lists the journal's segment files in index order.
+func segments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// segmentIndex parses the index out of a segment path, -1 when malformed.
+func segmentIndex(path string) int {
+	var i int
+	if _, err := fmt.Sscanf(filepath.Base(path), "seg-%08d.wal", &i); err != nil {
+		return -1
+	}
+	return i
+}
+
+// Replay reads every segment under dir and folds the readable records
+// into a State. Unreadable records — torn tails, CRC mismatches,
+// undecodable frames, or records the journal.replay fault point rejects —
+// are quarantined: counted on State.Skipped, reported to opts.Observer,
+// and skipped. Replay itself fails only when the directory cannot be
+// read; record-level damage never does.
+func Replay(dir string, opts Options) (*State, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{}
+	byKey := map[string]*Entry{}
+	skip := func(seg string, line int, cause string) {
+		st.Skipped++
+		if opts.Observer != nil {
+			opts.Observer.Event(telemetry.JournalSkipped{
+				Segment: filepath.Base(seg), Line: line, Cause: cause,
+			})
+		}
+	}
+	for _, seg := range segs {
+		if err := replaySegment(seg, opts, st, byKey, skip); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// replaySegment folds one segment file into the state.
+func replaySegment(path string, opts Options, st *State, byKey map[string]*Entry, skip func(string, int, string)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		rec, cause := decodeFrame(raw)
+		if cause == "" {
+			if ferr := opts.Faults.Fire(context.Background(), faultinject.JournalReplay); ferr != nil {
+				cause = ferr.Error()
+			}
+		}
+		if cause != "" {
+			skip(path, line, cause)
+			continue
+		}
+		apply(st, byKey, rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An oversized or unreadable tail: quarantine the remainder of
+		// the segment rather than failing the boot.
+		skip(path, line+1, "unreadable tail: "+err.Error())
+	}
+	return nil
+}
+
+// decodeFrame parses one line into its record, returning a non-empty
+// cause when the line is torn, oversized, or fails its CRC.
+func decodeFrame(raw []byte) (*Record, string) {
+	var fr frame
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		return nil, "bad frame: " + err.Error()
+	}
+	if got := crcOf(fr.Rec); got != fr.CRC {
+		return nil, fmt.Sprintf("crc mismatch: %s != recorded %s", got, fr.CRC)
+	}
+	var rec Record
+	if err := json.Unmarshal(fr.Rec, &rec); err != nil {
+		return nil, "bad record: " + err.Error()
+	}
+	return &rec, ""
+}
+
+// apply folds one readable record into the per-key state, last-wins.
+func apply(st *State, byKey map[string]*Entry, rec *Record) {
+	if rec.Seq > st.maxSeq {
+		st.maxSeq = rec.Seq
+	}
+	e, ok := byKey[rec.Key]
+	if !ok {
+		e = &Entry{Seq: rec.Seq, Key: rec.Key}
+		byKey[rec.Key] = e
+		st.Entries = append(st.Entries, e)
+	}
+	switch rec.Op {
+	case OpAccepted:
+		e.CacheKey = rec.CacheKey
+		e.Request = rec.Request
+	case OpStarted:
+		e.Started = true
+	case OpCheckpointed:
+		e.Checkpoint = rec.Checkpoint
+		e.Gen = rec.Gen
+	case OpDone:
+		e.Done = true
+		e.Response = rec.Response
+		e.Outcome = rec.Outcome
+	}
+}
+
+// maxRecordBytes bounds one journal line (responses are small JSON; 8 MiB
+// leaves room for large inline-source requests).
+const maxRecordBytes = 8 << 20
+
+// Open replays dir (creating it if needed), compacts the live state into
+// a fresh active segment, deletes the replayed segments, and returns the
+// appendable journal plus the replayed state. Record-level corruption is
+// quarantined into State.Skipped; only directory-level I/O errors fail
+// Open.
+func Open(dir string, opts Options) (*Journal, *State, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	st, err := Replay(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	old, err := segments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	next := 1
+	if n := len(old); n > 0 {
+		if i := segmentIndex(old[n-1]); i >= 0 {
+			next = i + 1
+		}
+	}
+	j := &Journal{dir: dir, opts: opts, segIndex: next, seq: st.maxSeq}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	if err := j.compact(st); err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	// The fresh segment now carries the whole live state; the replayed
+	// segments are redundant. Removal failures are non-fatal (replaying
+	// both old and new folds to the same state).
+	for _, p := range old {
+		_ = os.Remove(p)
+	}
+	syncDir(dir)
+	return j, st, nil
+}
+
+// compact rewrites the live state into the (fresh, empty) active
+// segment: unfinished entries in full — accepted, started and the latest
+// checkpoint pointer — and the most recent opts.KeepDone completed
+// entries as single done records carrying their response bytes. Appends
+// here bypass the journal.write fault point: compaction replays state
+// that was already accepted durably.
+func (j *Journal) compact(st *State) error {
+	done := st.Completed()
+	if keep := j.opts.KeepDone; keep < 0 {
+		done = nil
+	} else if len(done) > keep {
+		done = done[len(done)-keep:]
+	}
+	keepDone := make(map[string]bool, len(done))
+	for _, e := range done {
+		keepDone[e.Key] = true
+	}
+	for _, e := range st.Entries {
+		if e.Done {
+			if !keepDone[e.Key] {
+				continue
+			}
+			if err := j.append(Record{Op: OpDone, Key: e.Key, Response: e.Response, Outcome: e.Outcome}, false); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := j.append(Record{Op: OpAccepted, Key: e.Key, CacheKey: e.CacheKey, Request: e.Request}, false); err != nil {
+			return err
+		}
+		if e.Started {
+			if err := j.append(Record{Op: OpStarted, Key: e.Key}, false); err != nil {
+				return err
+			}
+		}
+		if e.Checkpoint != "" {
+			if err := j.append(Record{Op: OpCheckpointed, Key: e.Key, Checkpoint: e.Checkpoint, Gen: e.Gen}, false); err != nil {
+				return err
+			}
+		}
+	}
+	return j.Sync()
+}
+
+// openSegmentLocked creates the next segment exclusively and makes it
+// active. Callers hold j.mu (or have exclusive access during Open).
+func (j *Journal) openSegmentLocked() error {
+	name := filepath.Join(j.dir, segmentName(j.segIndex))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if j.seg != nil {
+		_ = j.seg.Sync()
+		_ = j.seg.Close()
+	}
+	j.seg, j.segName, j.segSize = f, name, 0
+	j.segIndex++
+	syncDir(j.dir)
+	return nil
+}
+
+// Append journals one record durably: the sequence number is assigned,
+// the CRC frame written in a single Write, and (under SyncAlways) the
+// segment fsynced before Append returns. The active segment rotates when
+// it exceeds the size bound. The journal.write fault point can fail the
+// append, which the caller must treat as "this record is not durable".
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.opts.Faults.Fire(context.Background(), faultinject.JournalWrite); err != nil {
+		return err
+	}
+	return j.append(rec, j.opts.Sync == SyncAlways)
+}
+
+// append writes one framed record; callers hold j.mu.
+func (j *Journal) append(rec Record, sync bool) error {
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(frame{CRC: crcOf(body), Rec: body})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.seg.Write(line); err != nil {
+		return err
+	}
+	j.segSize += int64(len(line))
+	if sync {
+		if err := j.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	if j.segSize >= j.opts.MaxSegmentBytes {
+		if err := j.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage (a no-op effect
+// under SyncAlways, where every append already synced).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.seg == nil {
+		return nil
+	}
+	return j.seg.Sync()
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close syncs and closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.seg == nil {
+		return nil
+	}
+	_ = j.seg.Sync()
+	return j.seg.Close()
+}
+
+// syncDir best-effort fsyncs a directory entry (not every filesystem
+// supports it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

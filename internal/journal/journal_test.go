@@ -1,0 +1,413 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// captureRecorder collects telemetry events for assertions.
+type captureRecorder struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (c *captureRecorder) Event(e telemetry.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *captureRecorder) Add(telemetry.Counters) {}
+
+func (c *captureRecorder) skipped() []telemetry.JournalSkipped {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []telemetry.JournalSkipped
+	for _, e := range c.events {
+		if s, ok := e.(telemetry.JournalSkipped); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// accept appends a full accepted/started pair for key.
+func accept(t *testing.T, j *Journal, key string) {
+	t.Helper()
+	req := json.RawMessage(fmt.Sprintf(`{"kernel":"MM","size":48,"seed":%d}`, len(key)))
+	if err := j.Append(Record{Op: OpAccepted, Key: key, CacheKey: "cache-" + key, Request: req}); err != nil {
+		t.Fatalf("append accepted: %v", err)
+	}
+	if err := j.Append(Record{Op: OpStarted, Key: key}); err != nil {
+		t.Fatalf("append started: %v", err)
+	}
+}
+
+func finish(t *testing.T, j *Journal, key, outcome string) {
+	t.Helper()
+	if err := j.Append(Record{Op: OpDone, Key: key, Response: []byte(`{"result":"` + key + `"}`), Outcome: outcome}); err != nil {
+		t.Fatalf("append done: %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(st.Entries) != 0 || st.Skipped != 0 {
+		t.Fatalf("fresh journal state: %+v", st)
+	}
+	accept(t, j, "a")
+	if err := j.Append(Record{Op: OpCheckpointed, Key: "a", Checkpoint: "ckpt/a.ckpt", Gen: 7}); err != nil {
+		t.Fatalf("append checkpointed: %v", err)
+	}
+	accept(t, j, "b")
+	finish(t, j, "b", "ok")
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := Replay(dir, Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st2.Skipped != 0 {
+		t.Fatalf("skipped %d records on clean journal", st2.Skipped)
+	}
+	if len(st2.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(st2.Entries))
+	}
+	a := st2.Entries[0]
+	if a.Key != "a" || !a.Started || a.Done || a.Checkpoint != "ckpt/a.ckpt" || a.Gen != 7 {
+		t.Fatalf("entry a folded wrong: %+v", a)
+	}
+	if a.CacheKey != "cache-a" || !strings.Contains(string(a.Request), `"kernel":"MM"`) {
+		t.Fatalf("entry a lost accepted payload: %+v", a)
+	}
+	b := st2.Entries[1]
+	if !b.Done || b.Outcome != "ok" || string(b.Response) != `{"result":"b"}` {
+		t.Fatalf("entry b folded wrong: %+v", b)
+	}
+	if inc := st2.Incomplete(); len(inc) != 1 || inc[0].Key != "a" {
+		t.Fatalf("incomplete = %+v, want just a", inc)
+	}
+	if done := st2.Completed(); len(done) != 1 || done[0].Key != "b" {
+		t.Fatalf("completed = %+v, want just b", done)
+	}
+}
+
+func TestJournalSeqContinuesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	accept(t, j, "a")
+	j.Close()
+
+	j2, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(st.Incomplete()) != 1 {
+		t.Fatalf("incomplete after reopen = %d, want 1", len(st.Incomplete()))
+	}
+	// Compaction re-appends the live records into the fresh segment, so
+	// the in-memory sequence has already advanced past the replayed max.
+	finish(t, j2, "a", "ok")
+	j2.Close()
+	st2, err := Replay(dir, Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	var max uint64
+	for _, e := range st2.Entries {
+		if e.Seq > max {
+			max = e.Seq
+		}
+	}
+	if !st2.Entries[0].Done {
+		t.Fatalf("entry not done after reopen+finish: %+v", st2.Entries[0])
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		accept(t, j, fmt.Sprintf("k%d", i))
+	}
+	j.Close()
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatalf("segments: %v", err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to create multiple segments, got %v", segs)
+	}
+	st, err := Replay(dir, Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(st.Entries) != 8 || st.Skipped != 0 {
+		t.Fatalf("replay across segments: entries=%d skipped=%d", len(st.Entries), st.Skipped)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("done%d", i)
+		accept(t, j, key)
+		finish(t, j, key, "ok")
+	}
+	accept(t, j, "inflight")
+	j.Close()
+	before, _ := segments(dir)
+
+	// Reopen with a small done-entry budget: compaction must keep the two
+	// newest completed entries, the unfinished one in full, and delete the
+	// replayed segments.
+	j2, st, err := Open(dir, Options{KeepDone: 2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if got := len(st.Completed()); got != 6 {
+		t.Fatalf("replayed completed = %d, want 6 (compaction trims the rewrite, not the replay)", got)
+	}
+	after, _ := segments(dir)
+	for _, old := range before {
+		for _, now := range after {
+			if old == now {
+				t.Fatalf("old segment %s survived compaction", old)
+			}
+		}
+	}
+	st2, err := Replay(dir, Options{})
+	if err != nil {
+		t.Fatalf("replay compacted: %v", err)
+	}
+	done := st2.Completed()
+	if len(done) != 2 || done[0].Key != "done4" || done[1].Key != "done5" {
+		t.Fatalf("compacted done entries = %+v, want newest two", done)
+	}
+	for _, e := range done {
+		if string(e.Response) != `{"result":"`+e.Key+`"}` {
+			t.Fatalf("compaction lost response bytes for %s: %q", e.Key, e.Response)
+		}
+	}
+	inc := st2.Incomplete()
+	if len(inc) != 1 || inc[0].Key != "inflight" || !inc[0].Started || inc[0].Request == nil {
+		t.Fatalf("compacted incomplete entry = %+v", inc)
+	}
+}
+
+func TestJournalTornTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	accept(t, j, "good")
+	accept(t, j, "torn")
+	j.Close()
+
+	segs, _ := segments(dir)
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Tear the final record mid-byte, exactly what a crash mid-append
+	// leaves behind.
+	if err := os.WriteFile(seg, data[:len(data)-17], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	rec := &captureRecorder{}
+	st, err := Replay(dir, Options{Observer: rec})
+	if err != nil {
+		t.Fatalf("replay torn journal: %v", err)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", st.Skipped)
+	}
+	if len(st.Entries) != 2 || !st.Entries[0].Started {
+		t.Fatalf("good records lost: %+v", st.Entries)
+	}
+	// The torn record was entry "torn"'s started op; accepted survived.
+	if st.Entries[1].Started {
+		t.Fatalf("torn started record should not have applied: %+v", st.Entries[1])
+	}
+	sk := rec.skipped()
+	if len(sk) != 1 || sk[0].Line == 0 || sk[0].Cause == "" {
+		t.Fatalf("JournalSkipped telemetry = %+v", sk)
+	}
+
+	// Open on the damaged directory must still boot and compact.
+	j2, st2, err := Open(dir, Options{Observer: rec})
+	if err != nil {
+		t.Fatalf("open over torn journal: %v", err)
+	}
+	defer j2.Close()
+	if st2.Skipped != 1 {
+		t.Fatalf("open skipped = %d, want 1", st2.Skipped)
+	}
+}
+
+func TestJournalBadCRCQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	accept(t, j, "a")
+	finish(t, j, "a", "ok")
+	j.Close()
+
+	segs, _ := segments(dir)
+	seg := segs[len(segs)-1]
+	data, _ := os.ReadFile(seg)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	// Flip a payload byte inside the done record (the last line) without
+	// breaking the JSON framing: corrupt a character of the response.
+	last := lines[len(lines)-1]
+	idx := bytes.Index(last, []byte("ok"))
+	if idx < 0 {
+		t.Fatalf("outcome not found in %q", last)
+	}
+	last[idx] = 'x'
+	lines[len(lines)-1] = last
+	out := append(bytes.Join(lines, []byte("\n")), '\n')
+	if err := os.WriteFile(seg, out, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	rec := &captureRecorder{}
+	st, err := Replay(dir, Options{Observer: rec})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", st.Skipped)
+	}
+	if st.Entries[0].Done {
+		t.Fatalf("corrupt done record applied: %+v", st.Entries[0])
+	}
+	sk := rec.skipped()
+	if len(sk) != 1 || !strings.Contains(sk[0].Cause, "crc mismatch") {
+		t.Fatalf("skip cause = %+v, want crc mismatch", sk)
+	}
+}
+
+func TestJournalZeroLengthSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open over zero-length segment: %v", err)
+	}
+	defer j.Close()
+	if len(st.Entries) != 0 || st.Skipped != 0 {
+		t.Fatalf("state from empty segment: %+v", st)
+	}
+}
+
+func TestJournalWriteFault(t *testing.T) {
+	plan, err := faultinject.Parse("journal.write:times=1")
+	if err != nil {
+		t.Fatalf("parse fault spec: %v", err)
+	}
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Faults: plan})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+	err = j.Append(Record{Op: OpAccepted, Key: "a"})
+	if err == nil {
+		t.Fatalf("expected injected append failure")
+	}
+	// The fault fires once; the retry succeeds and the failed append left
+	// nothing behind.
+	if err := j.Append(Record{Op: OpAccepted, Key: "a"}); err != nil {
+		t.Fatalf("append after fault: %v", err)
+	}
+	j.Close()
+	st, err := Replay(dir, Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(st.Entries) != 1 || st.Skipped != 0 {
+		t.Fatalf("state after faulted append: %+v", st)
+	}
+}
+
+func TestJournalReplayFault(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	accept(t, j, "a")
+	j.Close()
+
+	plan, err := faultinject.Parse("journal.replay:times=1")
+	if err != nil {
+		t.Fatalf("parse fault spec: %v", err)
+	}
+	rec := &captureRecorder{}
+	st, err := Replay(dir, Options{Faults: plan, Observer: rec})
+	if err != nil {
+		t.Fatalf("replay with fault: %v", err)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (injected)", st.Skipped)
+	}
+	if len(rec.skipped()) != 1 {
+		t.Fatalf("telemetry events = %+v", rec.events)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+		ok   bool
+	}{
+		{"", SyncAlways, true},
+		{"always", SyncAlways, true},
+		{"none", SyncNone, true},
+		{"fsync", 0, false},
+	} {
+		got, err := ParseSyncMode(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

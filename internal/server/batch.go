@@ -85,12 +85,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	idem := r.Header.Get("Idempotency-Key")
+	if len(idem) > maxIdemKeyBytes {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "Idempotency-Key exceeds 256 bytes"})
+		return
+	}
+
 	// Normalize before streaming starts: invalid items are decided (and
 	// reported as error lines) without spending an admission slot.
 	norms := make([]*normRequest, len(batch.Requests))
 	errs := make([]error, len(batch.Requests))
 	for i, req := range batch.Requests {
 		norms[i], errs[i] = s.normalize(req)
+		if errs[i] == nil {
+			// Each item gets its own durability identity: the batch's
+			// Idempotency-Key header suffixed with the item index, else the
+			// item's canonical cache key.
+			key := idem
+			if key != "" {
+				key += "#" + strconv.Itoa(i)
+			}
+			norms[i].idemKey = idemKeyFor(key, norms[i])
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -107,18 +123,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, norm *normRequest) {
+		go func(i int, norm *normRequest, req TileRequest) {
 			defer wg.Done()
-			out.write(s.batchItem(r, norm, i, started))
-		}(i, norms[i])
+			out.write(s.batchItem(r, norm, &req, i, started))
+		}(i, norms[i], batch.Requests[i])
 	}
 	wg.Wait()
 }
 
 // batchItem runs one admitted batch item through the shared serve path
 // and renders its NDJSON line. The request lifecycle telemetry is the
-// same as a single request's: each item is accepted and done on its own.
-func (s *Server) batchItem(r *http.Request, norm *normRequest, index int, started time.Time) BatchItem {
+// same as a single request's: each item is accepted and done on its own,
+// journaled under its per-item idempotency key, and a duplicate retry of
+// the whole batch streams recorded bytes for the items that finished.
+func (s *Server) batchItem(r *http.Request, norm *normRequest, req *TileRequest, index int, started time.Time) BatchItem {
+	if s.dur != nil {
+		if body, outcome, ok := s.dur.lookup(norm.idemKey); ok {
+			id := s.reqID.Add(1)
+			s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
+			s.emit(telemetry.RequestDone{ID: id, Outcome: outcome, Elapsed: s.cfg.Now().Sub(started)})
+			return BatchItem{Index: index, Result: body, Outcome: outcome, Source: "journal"}
+		}
+	}
 	finish, _, reason := s.admitCtx(r.Context())
 	if finish == nil {
 		s.emit(telemetry.RequestShed{Reason: reason})
@@ -127,7 +153,7 @@ func (s *Server) batchItem(r *http.Request, norm *normRequest, index int, starte
 	defer finish()
 	id := s.reqID.Add(1)
 	s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
-	body, outcome, source, err := s.serve(r.Context(), norm)
+	body, outcome, source, err := s.durableServe(r.Context(), norm, req)
 	if err != nil {
 		s.emit(telemetry.RequestDone{ID: id, Outcome: "error", Elapsed: s.cfg.Now().Sub(started)})
 		return BatchItem{Index: index, Error: err.Error()}

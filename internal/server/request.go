@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/ga"
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/parser"
@@ -110,6 +111,13 @@ type normRequest struct {
 	islands    int
 	nest       *ir.Nest
 	key        string
+	// idemKey is the request's durability identity: the client's
+	// Idempotency-Key header, else key. Set by the handlers after
+	// normalize; empty when durability is disabled.
+	idemKey string
+	// resume is the checkpoint a journal recovery restarts the search
+	// from (nil for live requests).
+	resume *ga.Checkpoint
 }
 
 // hashedRequest is the canonical form the cache key is derived from: every
@@ -221,7 +229,7 @@ const maxIslands = 8
 // MaxEvaluations, and the service always quarantines broken evaluations so
 // one poisoned candidate degrades a response instead of failing it.
 func (n *normRequest) options(s *Server) core.Options {
-	return core.Options{
+	opt := core.Options{
 		Cache:          n.cacheCfg,
 		Seed:           n.seed,
 		SamplePoints:   n.points,
@@ -234,6 +242,14 @@ func (n *normRequest) options(s *Server) core.Options {
 		Observer:       s.cfg.Observer,
 		SharedCache:    s.evalCache,
 	}
+	// With durability armed, every search journals resumable snapshots at
+	// generation boundaries — and a recovered request restarts from the
+	// one its crash left behind.
+	if s.dur != nil && n.idemKey != "" {
+		opt.Checkpoint = s.dur.hook(n.idemKey)
+		opt.ResumeFrom = n.resume
+	}
+	return opt
 }
 
 // maxRequestBytes bounds every request body the service decodes.

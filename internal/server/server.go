@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evalcache"
 	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -83,6 +84,19 @@ type Config struct {
 	// DefaultIslands is the GA island count applied to requests that name
 	// none (0 = single population). Requests may still override it.
 	DefaultIslands int
+	// StateDir arms the durability layer: a crash-safe request journal
+	// plus per-search checkpoints live under it, every accepted request is
+	// journaled before its search runs, duplicate idempotent retries are
+	// served the recorded response bytes, and Recover replays whatever a
+	// crash interrupted. Empty disables durability (the default).
+	StateDir string
+	// JournalSync selects the journal's append durability
+	// (journal.SyncAlways by default; journal.SyncNone trades the last few
+	// appends on crash for throughput).
+	JournalSync journal.SyncMode
+	// CheckpointInterval throttles in-flight search snapshots to one per
+	// interval (0 = every generation boundary).
+	CheckpointInterval time.Duration
 	// Observer receives the server's request lifecycle events and every
 	// search's telemetry. It must be safe for concurrent use: parallel
 	// requests share it. Nil disables telemetry.
@@ -147,6 +161,9 @@ type Server struct {
 	// disabled); every search this server runs shares it.
 	evalCache *evalcache.Cache
 
+	// dur is the crash-safety layer (nil without Config.StateDir).
+	dur *durability
+
 	// mu serializes admission against Drain: a request is either counted
 	// in wg before the drain flips draining, or rejected after.
 	mu       sync.Mutex
@@ -162,8 +179,12 @@ type Server struct {
 	cancelSearch context.CancelFunc
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. With Config.StateDir set it also opens
+// (replaying and compacting) the request journal; a journal that cannot
+// be opened at all — as opposed to one with corrupt records, which are
+// quarantined — fails construction rather than running without the
+// durability the configuration asked for.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(faultinject.With(context.Background(), cfg.Faults))
 	var ec *evalcache.Cache
@@ -173,7 +194,7 @@ func New(cfg Config) *Server {
 			Observer:   cfg.Observer,
 		})
 	}
-	return &Server{
+	s := &Server{
 		cfg:          cfg,
 		gate:         newGate(cfg.MaxConcurrent, cfg.QueueDepth),
 		cache:        newResultCache(cfg.CacheEntries),
@@ -183,6 +204,15 @@ func New(cfg Config) *Server {
 		searchCtx:    ctx,
 		cancelSearch: cancel,
 	}
+	if cfg.StateDir != "" {
+		dur, err := openDurability(cfg)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.dur = dur
+	}
+	return s, nil
 }
 
 // Handler returns the service's HTTP surface, mounted on an explicit
@@ -282,6 +312,22 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	idem := r.Header.Get("Idempotency-Key")
+	if len(idem) > maxIdemKeyBytes {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "Idempotency-Key exceeds 256 bytes"})
+		return
+	}
+	norm.idemKey = idemKeyFor(idem, norm)
+	// A duplicate idempotent retry is answered the exact recorded bytes
+	// before it costs an admission slot.
+	if s.dur != nil {
+		if body, outcome, ok := s.dur.lookup(norm.idemKey); ok {
+			id := s.reqID.Add(1)
+			s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
+			s.respond(w, id, started, body, outcome, "journal")
+			return
+		}
+	}
 
 	finish, ok := s.admit(w, r)
 	if !ok {
@@ -291,9 +337,14 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	id := s.reqID.Add(1)
 	s.emit(telemetry.RequestAccepted{ID: id, Kernel: norm.kernelName, Mode: norm.mode})
 
-	body, outcome, source, err := s.serve(r.Context(), norm)
+	body, outcome, source, err := s.durableServe(r.Context(), norm, &req)
 	if err != nil {
 		s.emit(telemetry.RequestDone{ID: id, Outcome: "error", Elapsed: s.cfg.Now().Sub(started)})
+		if errors.Is(err, errJournalUnavailable) {
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
@@ -360,10 +411,24 @@ func (s *Server) compute(norm *normRequest) (computed, error) {
 	return computed{body: body, outcome: "ok", cacheable: true}, nil
 }
 
-// search runs the GA search for the request. failure reports a completed
-// but degraded run (quarantined evaluations) — it counts against the
-// breaker like an error, but still yields a usable best-so-far response.
+// search runs the GA search for the request, retrying once from scratch
+// when a recovered checkpoint turns out to be unusable (wrong options, a
+// stale snapshot): a bad checkpoint must cost the resume, never the
+// request.
 func (s *Server) search(norm *normRequest) (*TileResponse, bool, error) {
+	resp, failure, err := s.searchOnce(norm)
+	if err != nil && norm.resume != nil {
+		norm.resume = nil
+		resp, failure, err = s.searchOnce(norm)
+	}
+	return resp, failure, err
+}
+
+// searchOnce runs the GA search for the request. failure reports a
+// completed but degraded run (quarantined evaluations) — it counts
+// against the breaker like an error, but still yields a usable
+// best-so-far response.
+func (s *Server) searchOnce(norm *normRequest) (*TileResponse, bool, error) {
 	opt := norm.options(s)
 	resp := &TileResponse{Kernel: norm.kernelName, Mode: norm.mode}
 	var quarantined int
@@ -412,6 +477,10 @@ type health struct {
 	Breaker  string `json:"breaker"`
 	InFlight int    `json:"inFlight"`
 	Queued   int    `json:"queued"`
+	// JournalSkipped is the quarantined-record count from startup journal
+	// replay (only present when durability is armed and non-zero), so a
+	// corrupting disk is visible on the health surface.
+	JournalSkipped int `json:"journalSkipped,omitempty"`
 }
 
 // handleHealth answers GET /healthz: 200 while serving, 503 while
@@ -426,6 +495,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Breaker:  s.breaker.current().String(),
 		InFlight: s.gate.running(),
 		Queued:   s.gate.queued(),
+	}
+	if s.dur != nil {
+		h.JournalSkipped = s.dur.skipped
 	}
 	status := http.StatusOK
 	if draining {
@@ -451,6 +523,13 @@ func (s *Server) Drain(ctx context.Context) {
 	inFlight := s.gate.running() + s.gate.queued()
 	s.mu.Unlock()
 
+	// Persist the throttled-back search snapshots now: if the process is
+	// killed during the grace period, restart recovery resumes from here
+	// instead of the last interval boundary.
+	if first && s.dur != nil {
+		s.dur.flush()
+	}
+
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -467,6 +546,11 @@ func (s *Server) Drain(ctx context.Context) {
 		<-done
 	}
 	if first {
+		if s.dur != nil {
+			// Every accepted request is answered (and journaled done) by
+			// now; the journal can close cleanly.
+			s.dur.close()
+		}
 		s.emit(telemetry.ServerDrained{InFlight: inFlight, Forced: forced})
 	}
 }

@@ -29,7 +29,10 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *telemetry
 	if cfg.DefaultTimeout == 0 {
 		cfg.DefaultTimeout = 10 * time.Second
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts, cap
@@ -155,7 +158,10 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestTimeoutNormalization(t *testing.T) {
-	s := New(Config{DefaultTimeout: 7 * time.Second, MaxTimeout: 20 * time.Second})
+	s, err := New(Config{DefaultTimeout: 7 * time.Second, MaxTimeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	n, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k"})
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +179,10 @@ func TestTimeoutNormalization(t *testing.T) {
 }
 
 func TestCacheKeyCoversResultRelevantFields(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := TileRequest{Kernel: "MM", Cache: "8k", Seed: 1}
 	k0, err := s.normalize(base)
 	if err != nil {

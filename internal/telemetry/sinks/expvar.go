@@ -37,6 +37,8 @@ import (
 //	<name>.degraded_responses   degraded or fallback responses served
 //	<name>.breaker_trips        circuit-breaker closed/half-open -> open
 //	<name>.drains               completed graceful drains
+//	<name>.journal_recovered    journaled requests replayed after a restart
+//	<name>.journal_skipped      torn/corrupt journal records quarantined
 //
 // where <name>.x is a key of the expvar map registered under <name>.
 // Safe for concurrent use (expvar.Map is atomic).
@@ -84,6 +86,10 @@ func (x *Expvar) Event(e telemetry.Event) {
 		}
 	case telemetry.ServerDrained:
 		x.m.Add("drains", 1)
+	case telemetry.JournalRecovered:
+		x.m.Add("journal_recovered", 1)
+	case telemetry.JournalSkipped:
+		x.m.Add("journal_skipped", 1)
 	}
 }
 

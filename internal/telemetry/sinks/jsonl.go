@@ -150,7 +150,24 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Ev    string `json:"ev"`
 			Path  string `json:"path"`
 			Cause string `json:"cause"`
-		}{string(ev.Kind()), ev.Path, ev.Cause}
+			Class string `json:"class,omitempty"`
+		}{string(ev.Kind()), ev.Path, ev.Cause, ev.Class}
+	case telemetry.JournalRecovered:
+		return struct {
+			Ev      string `json:"ev"`
+			Key     string `json:"key"`
+			Kernel  string `json:"kernel"`
+			Resumed bool   `json:"resumed"`
+			Gen     int    `json:"gen"`
+			Outcome string `json:"outcome"`
+		}{string(ev.Kind()), ev.Key, ev.Kernel, ev.Resumed, ev.Gen, ev.Outcome}
+	case telemetry.JournalSkipped:
+		return struct {
+			Ev      string `json:"ev"`
+			Segment string `json:"segment"`
+			Line    int    `json:"line"`
+			Cause   string `json:"cause"`
+		}{string(ev.Kind()), ev.Segment, ev.Line, ev.Cause}
 	case telemetry.EvalCacheHit:
 		return struct {
 			Ev   string `json:"ev"`

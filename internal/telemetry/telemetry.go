@@ -48,6 +48,12 @@ const (
 	// checkpoint was replaced by its rotated previous-good copy.
 	KindEvaluationQuarantined Kind = "evaluation_quarantined"
 	KindCheckpointRecovered   Kind = "checkpoint_recovered"
+	// The durability events: a request replayed from the crash-safe
+	// journal at startup (resumed from a snapshot or re-run), and a
+	// journal record quarantined during replay because it was torn,
+	// failed its CRC, or tripped the journal.replay fault point.
+	KindJournalRecovered Kind = "journal_recovered"
+	KindJournalSkipped   Kind = "journal_skipped"
 	// The server events: the admission, cache, degradation and drain
 	// lifecycle of one tiling-service request (emitted by internal/server).
 	KindRequestAccepted Kind = "request_accepted"
@@ -217,10 +223,56 @@ type CheckpointRecovered struct {
 	Path string
 	// Cause is the error that disqualified the primary copy.
 	Cause string
+	// Class categorizes the cause: "missing" (no file), "corrupt" (the
+	// bytes were readable but failed decoding or the integrity sum), or
+	// "io" (the read itself failed). Operators alert differently on each:
+	// corruption points at storage, IO errors at the environment.
+	Class string
 }
 
 // Kind implements Event.
 func (CheckpointRecovered) Kind() Kind { return KindCheckpointRecovered }
+
+// JournalRecovered reports one accepted-but-unfinished request the durable
+// journal replayed after a restart: the server either resumed its search
+// from a persisted generation-boundary snapshot or re-ran it from scratch,
+// and in both cases answered it — a crash never silently drops an accepted
+// request.
+type JournalRecovered struct {
+	// Key is the request's idempotency key (client-supplied, or the
+	// canonical cache key when the client sent none).
+	Key string
+	// Kernel names the requested nest.
+	Kernel string
+	// Resumed reports the search restarted from a persisted snapshot;
+	// false means no usable snapshot existed and the search re-ran fresh.
+	Resumed bool
+	// Gen is the last completed generation the snapshot restored (0 when
+	// the search re-ran from scratch).
+	Gen int
+	// Outcome is the recovered request's final outcome ("ok", "degraded",
+	// "fallback", "error", "unreplayable").
+	Outcome string
+}
+
+// Kind implements Event.
+func (JournalRecovered) Kind() Kind { return KindJournalRecovered }
+
+// JournalSkipped reports one journal record quarantined during startup
+// replay: a truncated tail, a CRC mismatch, undecodable framing, or the
+// journal.replay fault point. Recovery continues past it — a torn record
+// costs at most that one record, never the boot.
+type JournalSkipped struct {
+	// Segment is the journal segment file the record was read from.
+	Segment string
+	// Line is the 1-based line number of the quarantined record.
+	Line int
+	// Cause is why the record was rejected.
+	Cause string
+}
+
+// Kind implements Event.
+func (JournalSkipped) Kind() Kind { return KindJournalSkipped }
 
 // RequestAccepted reports a tiling-service request admitted past the
 // admission gate (it may still wait in the bounded queue for a slot).

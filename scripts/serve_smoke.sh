@@ -3,6 +3,9 @@
 # /healthz, list the kernel catalog, run one real tiling request, verify
 # the cache answers the repeat byte-identically, run a batch request and
 # check its NDJSON stream, then SIGTERM and require a clean drained exit.
+# Phase two reruns the daemon with -state-dir, SIGKILLs it mid-batch,
+# restarts it over the same state, and requires the idempotent batch
+# retry to return the exact bytes of the crash-free answers.
 set -eu
 
 workdir=$(mktemp -d)
@@ -85,4 +88,90 @@ if [ "$status" -ne 0 ]; then
 fi
 grep -q 'drained, exiting' "$workdir/log" || {
     echo "serve-smoke: no drain message in log:"; cat "$workdir/log"; exit 1; }
+
+# ---- Phase two: crash durability ------------------------------------
+# A durable daemon is SIGKILLed mid-batch; its heir over the same state
+# dir must recover the journaled requests and answer the idempotent
+# retry byte-identically to the crash-free run (resp1 from phase one).
+echo "serve-smoke: crash phase (state dir, SIGKILL mid-batch)"
+state="$workdir/state"
+"$workdir/tilingd" -addr 127.0.0.1:0 -default-timeout 10s \
+    -state-dir "$state" -checkpoint-interval 0 \
+    -fault-spec 'eval.stall:stall=25ms' 2>"$workdir/log2" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^tilingd: listening on //p' "$workdir/log2")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "serve-smoke: durable daemon died:"; cat "$workdir/log2"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: durable daemon never reported its address"; cat "$workdir/log2"; exit 1; }
+
+# The batch repeats phase one's requests (workers:1 + the injected stall
+# slow them without changing any result) so the recovered answers are
+# comparable against resp1.
+crashbatch='{"requests":[{"kernel":"MM","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000,"workers":1},{"kernel":"T2D","size":64,"cache":"8k","seed":1,"maxEvaluations":60,"timeoutMs":10000,"workers":1}]}'
+curl -s -o /dev/null -H 'Idempotency-Key: smoke-batch' \
+    "http://$addr/v1/tile/batch" -d "$crashbatch" 2>/dev/null &
+curl_pid=$!
+
+# Kill once every batch item's acceptance is durable and the most
+# recently admitted search has snapshotted a generation. On a one-CPU
+# box the admission gate serialises the items, so "both accepted" can
+# mean the first already completed — the contract under test is that
+# nothing accepted is ever lost, not that both are mid-flight.
+ready=""
+for _ in $(seq 1 300); do
+    acc=$(grep -ch '"op":"accepted"' "$state/journal/"*.wal 2>/dev/null | awk '{s+=$1} END {print s+0}')
+    if [ "$acc" -ge 2 ] && ls "$state/checkpoints/"*.ckpt >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+done
+[ -n "$ready" ] || { echo "serve-smoke: batch never reached a killable point (accepted=$acc)"; exit 1; }
+kill -KILL "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+wait "$curl_pid" 2>/dev/null || true
+daemon_pid=""
+
+"$workdir/tilingd" -addr 127.0.0.1:0 -default-timeout 10s -state-dir "$state" 2>"$workdir/log3" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^tilingd: listening on //p' "$workdir/log3")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "serve-smoke: restarted daemon died:"; cat "$workdir/log3"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: restarted daemon never reported its address"; cat "$workdir/log3"; exit 1; }
+
+# Every accepted-but-incomplete request must be replayed by recovery
+# (at least the one that was mid-search when the SIGKILL landed).
+recovered=""
+for _ in $(seq 1 300); do
+    if curl -fsS "http://$addr/debug/vars" | grep -Eq '"journal_recovered": *[1-9]'; then recovered=1; break; fi
+    sleep 0.1
+done
+[ -n "$recovered" ] || {
+    echo "serve-smoke: restart never recovered the journaled request:"
+    curl -fsS "http://$addr/debug/vars" | grep -o '"journal_[a-z_]*": *[0-9]*' || true
+    cat "$workdir/log3"; exit 1; }
+echo "serve-smoke: restart recovered the interrupted search"
+
+# The idempotent batch retry streams the recorded bytes; item 0 repeats
+# phase one's single request, so it must match resp1 exactly.
+curl -fsS -o "$workdir/crashretry" -H 'Idempotency-Key: smoke-batch' \
+    "http://$addr/v1/tile/batch" -d "$crashbatch"
+[ "$(grep -c '"source":"journal"' "$workdir/crashretry")" -eq 2 ] || {
+    echo "serve-smoke: batch retry not fully served from journal:"; cat "$workdir/crashretry"; exit 1; }
+grep '"index":0' "$workdir/crashretry" | grep -qF "$(cat "$workdir/resp1")" || {
+    echo "serve-smoke: recovered batch item 0 differs from the crash-free answer"
+    cat "$workdir/crashretry"; exit 1; }
+echo "serve-smoke: idempotent retry byte-identical after crash"
+
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+[ "$status" -eq 0 ] || {
+    echo "serve-smoke: restarted daemon exited $status after SIGTERM:"; cat "$workdir/log3"; exit 1; }
 echo "serve-smoke: ok"
