@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race fuzz bench-json depcheck chaos lint serve-smoke islands crash-chaos
+.PHONY: verify build test vet race fuzz bench-json bench-regress depcheck chaos lint serve-smoke islands crash-chaos
 
-verify: vet build depcheck lint race chaos islands crash-chaos
+verify: vet build depcheck lint bench-regress race chaos islands crash-chaos
 
 # Static analysis beyond vet. Both tools are optional: they are skipped
 # with a note when not installed (the container image does not bake them
@@ -83,9 +83,15 @@ islands:
 
 # Point-solver, evaluation and search microbenchmarks, recorded as a
 # JSON trajectory file so perf changes are tracked PR over PR.
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr10.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel|IslandSearch|EvalCacheSearch' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Classify$$|EvaluateParallel|IslandSearch|EvalCacheSearch|FidelitySearch' -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Benchmark regression gate: diff the two newest BENCH_pr*.json files and
+# fail on a >20% ns/op slowdown in the core micro-benchmarks. Skips with a
+# note when fewer than two trajectory files exist.
+bench-regress:
+	./scripts/bench_compare.sh
 
 # Short fuzz sweeps over the structured-input entry points.
 fuzz:

@@ -414,6 +414,46 @@ func BenchmarkEvalCacheSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkFidelitySearch compares classic full-fidelity evaluation
+// against the multi-fidelity successive-halving ladder on the paper's
+// convergence workload. Both sides run the identical GA schedule to
+// convergence; the ladder scores most candidates on the coarse 41-point
+// prefix and promotes only survivors to the full 164-point sample, so it
+// classifies far fewer points per search. repl%/after is the sampled
+// full-fidelity estimate of the winning tile either way — the quality
+// guardrail for the speedup.
+func BenchmarkFidelitySearch(b *testing.B) {
+	for _, kn := range []struct {
+		kernel string
+		size   int64
+	}{{"MM", 300}, {"T2D", 500}} {
+		k, _ := kernels.Get(kn.kernel)
+		nest, err := k.Instance(kn.size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rungs := range []int{0, 3} {
+			name := map[int]string{0: "off", 3: "rungs3"}[rungs]
+			b.Run(kn.kernel+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := core.OptimizeTiling(context.Background(), nest, core.Options{
+						Cache:        cache.DM8K,
+						Seed:         42,
+						Workers:      1,
+						SamplePoints: 164,
+						Fidelity:     ga.Fidelity{Rungs: rungs},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(100*res.After.ReplacementRatio, "repl%/after")
+					b.ReportMetric(float64(res.GA.Evaluations), "evaluations")
+				}
+			})
+		}
+	}
+}
+
 // --- ablations -------------------------------------------------------------
 
 // BenchmarkAblationPopulation varies the GA population size around the

@@ -51,6 +51,7 @@ func main() {
 		budget   = flag.Int("budget", 0, "per-search evaluation budget (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes results")
 		islands  = flag.Int("islands", 0, "GA islands per search, evolving concurrently with elite migration (0/1 = single population)")
+		fidelity = flag.Int("fidelity", 0, "successive-halving rungs for multi-fidelity evaluation per search (0/1 = classic full fidelity)")
 		traceOut = flag.String("trace-out", "", "append the telemetry event stream of every search to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
@@ -72,7 +73,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, QuickCap: *quickCap, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget, Workers: *workers,
-		Islands: *islands, StallTimeout: *stall,
+		Islands: *islands, FidelityRungs: *fidelity, StallTimeout: *stall,
 	}
 	var err error
 	cfg.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)
@@ -113,6 +114,9 @@ func main() {
 	recorders = append(recorders, quarantined)
 	cfg.Observer = cmetiling.MultiRecorder(recorders...)
 	if *pprofOut != "" {
+		// Label evaluation workers so the profile attributes samples to
+		// kernel, phase and fidelity rung.
+		cmetiling.SetProfileLabels(true)
 		if err := cliutil.StartCPUProfile(*pprofOut); err != nil {
 			fatal(err)
 		}

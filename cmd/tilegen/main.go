@@ -47,6 +47,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print per-generation progress to stderr")
 		workers  = flag.Int("workers", 0, "evaluation goroutines per objective (0 = CMETILING_WORKERS or min(8, NumCPU)); never changes the result")
 		islands  = flag.Int("islands", 0, "GA islands evolving concurrently with elite migration (0/1 = single population); deterministic per seed")
+		fidelity = flag.Int("fidelity", 0, "successive-halving rungs for multi-fidelity evaluation (0/1 = classic full fidelity); deterministic per seed")
 		traceOut = flag.String("trace-out", "", "append the search's telemetry event stream to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "dump aggregate expvar metrics to stderr at exit")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
@@ -98,6 +99,7 @@ func main() {
 		Cache: cfg, Seed: *seed, SamplePoints: *points,
 		Deadline: *timeout, MaxEvaluations: *budget,
 		Workers: *workers, Islands: *islands, StallTimeout: *stall,
+		Fidelity: cmetiling.Fidelity{Rungs: *fidelity},
 	}
 	opt.FailurePolicy, err = cmetiling.ParseFailurePolicy(*policyF)
 	if err != nil {
@@ -147,6 +149,9 @@ func main() {
 	}
 	opt.Observer = cmetiling.MultiRecorder(recorders...)
 	if *pprofOut != "" {
+		// Label evaluation workers so the profile attributes samples to
+		// kernel, phase and fidelity rung.
+		cmetiling.SetProfileLabels(true)
 		if err := cliutil.StartCPUProfile(*pprofOut); err != nil {
 			fatal(err)
 		}

@@ -18,9 +18,19 @@
 //
 // Every search takes a context first: cancel it or give it a deadline and
 // the search stops at the next candidate boundary, returning the best
-// result found so far (never an error). The historical OptimizeXContext
-// aliases, deprecated since the ctx-first redesign, have been removed —
-// the ctx-first names are the only spelling.
+// result found so far (never an error).
+//
+// # Multi-fidelity evaluation
+//
+// Options.Fidelity (a Fidelity value; Rungs > 1 enables it) evaluates
+// each generation by deterministic successive halving: candidates are
+// first ranked on a coarse prefix of the fixed evaluation sample, the
+// bottom fraction is pruned at scaled fitness, and only the survivors
+// pay the full sample — a promoted candidate keeps its partial result
+// and classifies only unseen points. The same evaluation budget then
+// searches several times more candidates. The ladder is bit-reproducible
+// for a fixed seed at any worker and island count, and the zero value
+// (off) keeps every search byte-identical to earlier releases.
 //
 // # Sharing evaluation work across searches
 //
@@ -174,6 +184,10 @@ type (
 	// search, written through Options.Checkpoint and restored through
 	// Options.ResumeFrom.
 	Checkpoint = ga.Checkpoint
+	// Fidelity configures deterministic multi-fidelity evaluation by
+	// successive halving (Options.Fidelity; see "Multi-fidelity
+	// evaluation" in the package docs). The zero value disables it.
+	Fidelity = ga.Fidelity
 )
 
 // The stop reasons a bounded search can report.
@@ -231,8 +245,13 @@ type (
 	// GenerationDoneEvent reports one completed GA generation.
 	GenerationDoneEvent = telemetry.GenerationDone
 	// EvaluationBatchEvent reports one objective evaluation over the
-	// shared sample.
+	// shared sample (or, under multi-fidelity evaluation, one sample
+	// prefix range, tagged with its rung).
 	EvaluationBatchEvent = telemetry.EvaluationBatch
+	// EvaluationRungEvent reports one completed successive-halving rung
+	// of a multi-fidelity search: sample prefix size, cohort size and
+	// how many candidates were promoted or pruned.
+	EvaluationRungEvent = telemetry.EvaluationRung
 	// IslandMigrationEvent reports one ring elite exchange of a
 	// multi-island search (Options.Islands > 1).
 	IslandMigrationEvent = telemetry.IslandMigration
@@ -477,6 +496,13 @@ func GetKernel(name string) (Kernel, bool) { return kernels.Get(name) }
 // PaperSampleSize is the §2.3 sample size (164 iteration points for a
 // width-0.1 interval at 90% confidence).
 const PaperSampleSize = sampling.PaperSampleSize
+
+// SetProfileLabels toggles pprof labels (kernel, phase, fidelity rung) on
+// the parallel evaluation worker goroutines, so CPU profiles of a search
+// break down by what was being evaluated. Off by default: labelling costs
+// a context allocation per evaluation batch, which the zero-cost
+// nil-observer contract keeps off the hot path unless asked for.
+var SetProfileLabels = sampling.SetProfileLabels
 
 // assert the facade types stay usable as iterspace consumers.
 var _ iterspace.Space = (*iterspace.Box)(nil)

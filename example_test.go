@@ -2,6 +2,7 @@ package cmetiling_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 
@@ -75,6 +76,29 @@ func ExampleNewJSONLSink() {
 	// {"ev":"search_start","search":"tiling","kernel":"MM","depth":3,"cache":"8192:32:1","seed":1,"points":164,"workers":1}
 	// {"ev":"search_stop","search":"tiling","stopped":"converged","gens":25,"evals":402,"best_value":18}
 	// {"ev":"counters","evaluations":0,"memo_hits":0,"sampled_points":0,"walk_steps":0,"classified_accesses":0,"walk_cap_hits":0,"pool_hits":0,"pool_misses":0,"evalcache_hits":0,"evalcache_misses":0,"evalcache_evictions":0}
+}
+
+// ExampleOptimizeTiling_fidelity shows multi-fidelity evaluation: with
+// Fidelity.Rungs set, each generation is first scored on a coarse sample
+// prefix and only the survivors of successive halving pay for the full
+// sample. The schedule is deterministic per seed, so the result is
+// reproducible at any worker count; Rungs 0 runs the classic full-fidelity
+// search byte for byte.
+func ExampleOptimizeTiling_fidelity() {
+	k, _ := cmetiling.GetKernel("T2D")
+	nest, _ := k.Instance(64)
+	res, err := cmetiling.OptimizeTiling(context.Background(), nest, cmetiling.Options{
+		Cache:        cmetiling.CacheConfig{Size: 2048, LineSize: 32, Assoc: 1},
+		Seed:         7,
+		SamplePoints: 64,
+		Fidelity:     cmetiling.Fidelity{Rungs: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tile=%v stopped=%s\n", res.Tile, res.Stopped)
+	// Output:
+	// tile=[10 4] stopped=converged
 }
 
 // ExampleAnalyzeExact shows that the analytical model equals simulation.

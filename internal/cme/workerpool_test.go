@@ -1,0 +1,86 @@
+package cme
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/iterspace"
+)
+
+// TestWorkerPool: the cached worker pool hands back the same clones call
+// after call (no per-evaluation allocation churn), grows on demand,
+// rebinds stale clones to the primary's current space, and classifies
+// identically to the primary.
+func TestWorkerPool(t *testing.T) {
+	nest := transposeNest(16)
+	box := iterspace.NewBox([]int64{1, 1}, []int64{16, 16})
+	an, err := NewAnalyzer(nest, box, cache.Config{Size: 256, LineSize: 32, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := an.WorkerPool(4)
+	if len(pool) != 4 || pool[0] != an {
+		t.Fatalf("WorkerPool(4): len=%d primary=%v", len(pool), pool[0] == an)
+	}
+	again := an.WorkerPool(4)
+	for i := range pool {
+		if again[i] != pool[i] {
+			t.Fatalf("worker %d reallocated on second call", i)
+		}
+	}
+	// Shrinking returns a prefix; growing keeps the old clones.
+	if small := an.WorkerPool(2); len(small) != 2 || small[1] != pool[1] {
+		t.Fatalf("WorkerPool(2) did not reuse the cached clones")
+	}
+	grown := an.WorkerPool(6)
+	if len(grown) != 6 || grown[3] != pool[3] {
+		t.Fatalf("WorkerPool(6) did not extend the cached pool")
+	}
+
+	// Rebind the primary to a tiled space; the next checkout must bring
+	// every clone along and agree with the primary point for point.
+	tiled := iterspace.NewTiled(box, []int64{4, 8})
+	if err := an.Rebind(tiled); err != nil {
+		t.Fatal(err)
+	}
+	p := []int64{3, 5, 1, 2}
+	for _, w := range an.WorkerPool(4) {
+		for r := 0; r < 2; r++ {
+			if got, want := w.Classify(p, r), an.Classify(p, r); got != want {
+				t.Fatalf("rebound worker disagrees with primary: %v vs %v", got, want)
+			}
+		}
+	}
+
+	// Clones must not inherit the pool (a worker of a worker would share
+	// analyzers across goroutines).
+	if cl := an.Clone(); cl.workers != nil {
+		t.Fatal("Clone inherited the worker pool")
+	}
+}
+
+// TestPointScratch: the reusable coordinate buffer survives rebinds to
+// spaces of different coordinate counts and never aliases a fresh call's
+// expectation of zeroed-by-overwrite semantics.
+func TestPointScratch(t *testing.T) {
+	nest := transposeNest(16)
+	box := iterspace.NewBox([]int64{1, 1}, []int64{16, 16})
+	an, err := NewAnalyzer(nest, box, cache.Config{Size: 256, LineSize: 32, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := an.PointScratch()
+	if len(buf) != an.Space().NumCoords() {
+		t.Fatalf("scratch len %d != coords %d", len(buf), an.Space().NumCoords())
+	}
+	if &buf[0] != &an.PointScratch()[0] {
+		t.Fatal("scratch reallocated between calls")
+	}
+	if err := an.Rebind(iterspace.NewTiled(box, []int64{4, 8})); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.PointScratch(); len(got) != an.Space().NumCoords() {
+		t.Fatalf("scratch not resized after rebind: %d != %d", len(got), an.Space().NumCoords())
+	}
+}

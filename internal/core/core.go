@@ -65,6 +65,18 @@ type Options struct {
 	// outcomes as serial evaluation, so the worker count never changes a
 	// search result — only how fast it arrives.
 	Workers int
+	// Fidelity enables deterministic multi-fidelity evaluation by
+	// successive halving: fresh candidates are scored on a coarse prefix
+	// of the fixed sample, ranked, the bottom fraction pruned at scaled
+	// fitness, and survivors promoted rung by rung — only finalists pay
+	// the full sample, and a promoted candidate evaluates only points it
+	// has not seen. The zero value (off) keeps every search byte-identical
+	// to earlier releases. With the ladder on, MaxEvaluations is charged
+	// in sample points (budget = MaxEvaluations × sample size), so the
+	// cap buys the same classification work either way. Incompatible with
+	// a caller-supplied GA.SharedMemo and with the multi-level search. An
+	// explicit GA.Fidelity setting takes precedence.
+	Fidelity ga.Fidelity
 	// Islands splits the GA population into this many concurrently
 	// evolving demes with ring-topology elite migration (0 or 1 = the
 	// classic single population, bit-identical to earlier releases). Each
@@ -195,6 +207,12 @@ func (o Options) Validate() error {
 	if o.SharedCache != nil && o.GA.SharedMemo != nil {
 		return badOption("SharedCache", "GA.SharedMemo is derived from SharedCache; set only one")
 	}
+	if err := o.Fidelity.Validate(); err != nil {
+		return badOption("Fidelity", "%v", err)
+	}
+	if o.Fidelity.Enabled() && o.GA.SharedMemo != nil {
+		return badOption("Fidelity", "fidelity pruning records cohort-dependent scaled fitness; it cannot feed a shared memo")
+	}
 	if o.GA.PopSize != 0 {
 		if err := o.GA.Validate(); err != nil {
 			return badOption("GA", "%v", err)
@@ -300,6 +318,9 @@ func (o Options) gaRuntime(cfg ga.Config, label string) ga.Config {
 	if cfg.Islands == 0 {
 		cfg.Islands = o.Islands
 	}
+	if cfg.Fidelity == (ga.Fidelity{}) {
+		cfg.Fidelity = o.Fidelity
+	}
 	return cfg
 }
 
@@ -318,6 +339,134 @@ func islandRuntime(cfg ga.Config, guard *evalGuard, label string, ev *evaluator,
 		}
 	}
 	return cfg
+}
+
+// fidelityRuntime arms the multi-fidelity evaluator hooks of a GA
+// configuration: the ladder opens one resumable partial evaluation per
+// fresh candidate, built from the same per-search candidate decoder (mk)
+// the classic objective uses, so rung scores and full-fidelity fitness
+// are computed by the identical machinery. Multi-island configurations
+// get one evaluator fork per deme, mirroring islandRuntime. With the
+// ladder off this is a no-op.
+func fidelityRuntime(cfg ga.Config, ctx context.Context, guard *evalGuard, label string, ev *evaluator,
+	mk func(*evaluator, []int64) (*ir.Nest, iterspace.Space, error)) ga.Config {
+	if !cfg.Fidelity.Enabled() {
+		return cfg
+	}
+	open := func(e *evaluator) ga.FidelityEvaluator {
+		return &fidelityEval{ev: e, ctx: ctx, guard: guard, label: label, mk: mk}
+	}
+	cfg.FidelityEval = open(ev)
+	if cfg.Islands > 1 {
+		cfg.IslandFidelityEval = func(i int) ga.FidelityEvaluator {
+			return open(ev.fork(i + 1))
+		}
+	}
+	return cfg
+}
+
+// fidelityEval implements ga.FidelityEvaluator over one search's fixed
+// sample: Open decodes a candidate into its (nest, space) pair lazily and
+// returns the partial evaluation that accumulates classified prefix
+// ranges across rungs.
+type fidelityEval struct {
+	ev    *evaluator
+	ctx   context.Context
+	guard *evalGuard
+	label string
+	mk    func(*evaluator, []int64) (*ir.Nest, iterspace.Space, error)
+}
+
+// Points implements ga.FidelityEvaluator.
+func (f *fidelityEval) Points() int { return len(f.ev.sample.Points) }
+
+// Open implements ga.FidelityEvaluator.
+func (f *fidelityEval) Open(values []int64) ga.PartialEval {
+	return &partialEval{f: f, values: append([]int64(nil), values...)}
+}
+
+// partialEval is one candidate's resumable evaluation: classified
+// statistics accumulate over cumulative sample prefixes, so promotion to
+// a finer rung pays only for the unseen range and no point is classified
+// twice. Failures run through the search's evalGuard exactly like the
+// classic path — the failure fitness latches and every later rung
+// reports it unchanged.
+type partialEval struct {
+	f      *fidelityEval
+	values []int64
+
+	opened bool
+	nest   *ir.Nest
+	space  iterspace.Space
+	seen   int
+	st     cachesim.Stats
+
+	failed bool
+	failV  float64
+}
+
+// Score implements ga.PartialEval: extend the evaluation through the
+// first upTo sample points and return the raw objective over them.
+func (p *partialEval) Score(upTo, rung int) (score float64) {
+	if p.failed {
+		return p.failV
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			score = p.fail(fmt.Errorf("core: objective panic: %v", r))
+		}
+	}()
+	if !p.opened {
+		nest, space, err := p.f.mk(p.f.ev, p.values)
+		if err != nil {
+			return p.fail(err)
+		}
+		p.nest, p.space = nest, space
+		p.opened = true
+	}
+	if upTo > p.seen {
+		e := p.f.ev
+		if key := e.prefixKey(p.nest, p.space, upTo); key != "" {
+			if st, ok := e.shared.GetStats(key); ok {
+				// Prefix statistics are cumulative, so a recalled entry
+				// replaces the accumulated state wholesale.
+				p.st, p.seen = st, upTo
+				return float64(p.st.Replacement)
+			}
+		}
+		part, err := e.evalRange(p.f.ctx, p.nest, p.space, p.seen, upTo, rung)
+		if err != nil {
+			return p.fail(err)
+		}
+		p.st.Add(part)
+		p.seen = upTo
+		if key := e.prefixKey(p.nest, p.space, upTo); key != "" {
+			e.shared.PutStats(key, p.st)
+		}
+	}
+	return float64(p.st.Replacement)
+}
+
+// Fitness implements ga.PartialEval: the exact objective at full
+// fidelity, or the deterministic N/upTo extrapolation for a candidate
+// pruned below it.
+func (p *partialEval) Fitness(upTo int) float64 {
+	if p.failed {
+		return p.failV
+	}
+	v := float64(p.st.Replacement)
+	if n := len(p.f.ev.sample.Points); upTo > 0 && upTo < n {
+		return v * float64(n) / float64(upTo)
+	}
+	return v
+}
+
+// fail routes a failed partial evaluation through the search's failure
+// policy and latches the resulting fitness.
+func (p *partialEval) fail(err error) float64 {
+	p.failed = true
+	p.failV = p.f.guard.fail(p.f.label, p.values, err)
+	return p.failV
 }
 
 // emitStart announces a search to the observer: label, kernel, cache
@@ -584,6 +733,51 @@ func (e *evaluator) runEval(ctx context.Context, ans []*cme.Analyzer) (cachesim.
 		})
 }
 
+// evalRange evaluates the half-open sample range [lo, hi) over nest
+// traversed in space order — the multi-fidelity ladder's unit of work —
+// using the same pooled workers, watchdog and telemetry as a full
+// evaluation. The returned statistics cover only the range; the caller
+// accumulates them into the candidate's running prefix total.
+func (e *evaluator) evalRange(ctx context.Context, nest *ir.Nest, space iterspace.Space, lo, hi, rung int) (cachesim.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ans, reused, err := e.analyzers(nest, space)
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	if e.obs != nil {
+		if reused {
+			e.obs.Add(telemetry.Counters{PoolHits: 1})
+		} else {
+			e.obs.Add(telemetry.Counters{PoolMisses: 1})
+		}
+	}
+	sub := e.sample.Range(lo, hi)
+	if e.stall <= 0 {
+		return sub.EvaluateObservedRung(ctx, ans, e.obs, e.island, rung)
+	}
+	return e.watchedStats(ctx, func() { e.pool, e.poolNest = nil, nil },
+		func(wctx context.Context) (cachesim.Stats, error) {
+			return sub.EvaluateObservedRung(wctx, ans, e.obs, e.island, rung)
+		})
+}
+
+// prefixKey returns the shared-cache key for cumulative statistics over
+// the first n sample points, or "" when not shareable (same rules as
+// statsKey). The full-sample prefix is exactly the classic evaluation,
+// so it shares the classic key — a fidelity search warms the cache for
+// classic searches over the same nest, and vice versa.
+func (e *evaluator) prefixKey(nest *ir.Nest, space iterspace.Space, n int) string {
+	base := e.statsKey(nest, space)
+	if base == "" {
+		return ""
+	}
+	if n >= len(e.sample.Points) {
+		return base
+	}
+	return evalcache.Scope(base, "pfx", strconv.Itoa(n))
+}
+
 // statsKey returns the shared-cache key for finalized statistics of the
 // search's base nest over space, or "" when the evaluation is not
 // shareable: sharing disabled, a per-candidate mutated (padded) nest, or
@@ -758,7 +952,9 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	}
 	spec := ga.NewTileSpec(uppers)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling")
-	if gaCfg.SharedMemo == nil {
+	// Fidelity pruning records cohort-dependent scaled fitness, which must
+	// never leak into the cross-search memo tier.
+	if gaCfg.SharedMemo == nil && !gaCfg.Fidelity.Enabled() {
 		gaCfg.SharedMemo = ev.sharedFitnessMemo("tiling")
 	}
 	if len(gaCfg.SeedValues) == 0 {
@@ -776,6 +972,10 @@ func OptimizeTiling(ctx context.Context, nest *ir.Nest, opt Options) (*TilingRes
 	}
 	obj := guard.objective("tiling", build(ev))
 	gaCfg = islandRuntime(gaCfg, guard, "tiling", ev, build)
+	gaCfg = fidelityRuntime(gaCfg, ctx, guard, "tiling", ev,
+		func(e *evaluator, v []int64) (*ir.Nest, iterspace.Space, error) {
+			return nest, iterspace.NewTiled(e.box, tileFromGenome(e.box, v)), nil
+		})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -958,7 +1158,7 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	}
 	spec := ga.Spec{Chroms: chroms}
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "tiling-order")
-	if gaCfg.SharedMemo == nil {
+	if gaCfg.SharedMemo == nil && !gaCfg.Fidelity.Enabled() {
 		gaCfg.SharedMemo = ev.sharedFitnessMemo("tiling-order")
 	}
 	if len(gaCfg.SeedValues) == 0 {
@@ -984,6 +1184,11 @@ func OptimizeTilingOrder(ctx context.Context, nest *ir.Nest, opt Options) (*Orde
 	}
 	obj := guard.objective("tiling-order", build(ev))
 	gaCfg = islandRuntime(gaCfg, guard, "tiling-order", ev, build)
+	gaCfg = fidelityRuntime(gaCfg, ctx, guard, "tiling-order", ev,
+		func(e *evaluator, v []int64) (*ir.Nest, iterspace.Space, error) {
+			tile, order := decode(v)
+			return nest, iterspace.NewPermutedTiled(e.box, tile, order), nil
+		})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -1097,7 +1302,7 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	started := opt.emitStart(nest, "padding")
 	spec, decodePlan := paddingSpec(nest, opt.Cache)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, spec), "padding")
-	if gaCfg.SharedMemo == nil {
+	if gaCfg.SharedMemo == nil && !gaCfg.Fidelity.Enabled() {
 		gaCfg.SharedMemo = ev.sharedFitnessMemo("padding")
 	}
 	if len(gaCfg.SeedValues) == 0 {
@@ -1121,6 +1326,14 @@ func OptimizePadding(ctx context.Context, nest *ir.Nest, opt Options) (*PaddingR
 	}
 	obj := guard.objective("padding", build(ev))
 	gaCfg = islandRuntime(gaCfg, guard, "padding", ev, build)
+	gaCfg = fidelityRuntime(gaCfg, ctx, guard, "padding", ev,
+		func(e *evaluator, v []int64) (*ir.Nest, iterspace.Space, error) {
+			padded, err := padding.Apply(nest, decodePlan(v))
+			if err != nil {
+				return nil, nil, err
+			}
+			return padded, e.box, nil
+		})
 	res, err := ga.Run(ctx, spec, obj, gaCfg)
 	if err != nil {
 		return nil, err
@@ -1270,7 +1483,7 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	joint := ga.Spec{Chroms: append(append([]ga.Chromosome(nil), padSpec.Chroms...), tileSpec.Chroms...)}
 	nPad := len(padSpec.Chroms)
 	gaCfg := opt.gaRuntime(withMutationFloor(opt.GA, joint), "joint")
-	if gaCfg.SharedMemo == nil {
+	if gaCfg.SharedMemo == nil && !gaCfg.Fidelity.Enabled() {
 		gaCfg.SharedMemo = ev.sharedFitnessMemo("joint")
 	}
 	if len(gaCfg.SeedValues) == 0 {
@@ -1298,6 +1511,14 @@ func OptimizeJoint(ctx context.Context, nest *ir.Nest, opt Options) (*CombinedRe
 	}
 	obj := guard.objective("joint", build(ev))
 	gaCfg = islandRuntime(gaCfg, guard, "joint", ev, build)
+	gaCfg = fidelityRuntime(gaCfg, ctx, guard, "joint", ev,
+		func(e *evaluator, v []int64) (*ir.Nest, iterspace.Space, error) {
+			padded, err := padding.Apply(nest, decodePlan(v[:nPad]))
+			if err != nil {
+				return nil, nil, err
+			}
+			return padded, iterspace.NewTiled(e.box, tileFromGenome(e.box, v[nPad:])), nil
+		})
 	res, err := ga.Run(ctx, joint, obj, gaCfg)
 	if err != nil {
 		return nil, err

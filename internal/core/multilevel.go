@@ -66,6 +66,11 @@ func OptimizeTilingMultiLevel(ctx context.Context, nest *ir.Nest, levels []Level
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.Fidelity.Enabled() || opt.GA.Fidelity.Enabled() {
+		// The per-level one-off analyzers cannot resume partial prefix
+		// evaluations across rungs.
+		return nil, badOption("Fidelity", "multi-fidelity evaluation is not supported by the multi-level search")
+	}
 	opt = opt.withDefaults()
 	ctx, cancel := opt.searchContext(ctx)
 	defer cancel()

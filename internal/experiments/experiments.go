@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/ga"
 	"repro/internal/kernels"
 	"repro/internal/sampling"
 	"repro/internal/telemetry"
@@ -43,6 +44,11 @@ type Config struct {
 	// multi-island run follows a different search trajectory than a
 	// single-population one.
 	Islands int
+	// FidelityRungs enables multi-fidelity evaluation with this many
+	// successive-halving rungs per search (0/1 = classic full-fidelity
+	// evaluation). Deterministic per seed, but like Islands it changes
+	// the search trajectory.
+	FidelityRungs int
 	// FailurePolicy selects how each search reacts to a broken
 	// evaluation (the zero value aborts, preserving the historical
 	// contract; core.FailQuarantine completes degraded on best-so-far).
@@ -74,6 +80,7 @@ func (c Config) options(cfg cache.Config, salt uint64) core.Options {
 		MaxEvaluations: c.MaxEvaluations,
 		Workers:        c.Workers,
 		Islands:        c.Islands,
+		Fidelity:       ga.Fidelity{Rungs: c.FidelityRungs},
 		FailurePolicy:  c.FailurePolicy,
 		StallTimeout:   c.StallTimeout,
 		Observer:       c.Observer,

@@ -1,0 +1,71 @@
+package ga
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFidelitySchedule: the rung schedule is a pure function of the knobs
+// and the sample size — ascending cumulative prefixes, floored at
+// MinPoints, capped and terminated at the full sample, duplicates
+// collapsed.
+func TestFidelitySchedule(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fidelity
+		n    int
+		want []int
+	}{
+		{"off", Fidelity{}, 164, []int{164}},
+		{"one rung", Fidelity{Rungs: 1}, 164, []int{164}},
+		{"paper sample eta2", Fidelity{Rungs: 3}, 164, []int{41, 82, 164}},
+		{"eta3 with floor", Fidelity{Rungs: 4, Eta: 3}, 164, []int{16, 19, 55, 164}},
+		{"floor collapses small sample", Fidelity{Rungs: 3}, 8, []int{8}},
+		{"custom floor", Fidelity{Rungs: 3, MinPoints: 60}, 164, []int{60, 82, 164}},
+		{"deep ladder dedups", Fidelity{Rungs: 6}, 64, []int{16, 32, 64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.f.Schedule(tc.n)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Schedule(%d) = %v, want %v", tc.n, got, tc.want)
+			}
+			if got[len(got)-1] != tc.n {
+				t.Fatalf("schedule does not end at the full sample: %v", got)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("schedule not strictly ascending: %v", got)
+				}
+			}
+		})
+	}
+}
+
+// TestFidelityValidate: bad knobs are rejected, the zero value and
+// sensible configurations pass.
+func TestFidelityValidate(t *testing.T) {
+	for _, f := range []Fidelity{{}, {Rungs: 3}, {Rungs: 4, Eta: 2.5, MinPoints: 8}} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", f, err)
+		}
+	}
+	for _, f := range []Fidelity{{Rungs: -1}, {Eta: 1}, {Eta: 0.5}, {MinPoints: -3}} {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid configuration", f)
+		}
+	}
+}
+
+// TestFidelityRejectsSharedMemo: pruned candidates memoise cohort-dependent
+// scaled fitness, which must never feed the cross-search memo tier.
+func TestFidelityRejectsSharedMemo(t *testing.T) {
+	cfg := PaperConfig(1)
+	cfg.Fidelity = Fidelity{Rungs: 3}
+	cfg.SharedMemo = &mapMemo{}
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "shared memo") {
+		t.Fatalf("Validate = %v, want shared-memo incompatibility", err)
+	}
+}

@@ -98,6 +98,28 @@ type Config struct {
 	// shares obj, which must then be safe for concurrent calls.
 	IslandObjective func(island int) Objective
 
+	// Fidelity enables deterministic successive-halving evaluation: each
+	// generation's fresh candidates are ranked on coarse sample prefixes
+	// and the bottom fraction pruned before anyone pays full fidelity.
+	// The zero value keeps the classic one-at-a-time path byte-identical
+	// to previous releases. Enabled fidelity requires FidelityEval and is
+	// incompatible with SharedMemo (pruned candidates record
+	// cohort-dependent scaled fitness a cross-run tier must never serve).
+	// With the ladder on, MaxEvaluations is accounted in sample points:
+	// the budget is MaxEvaluations × FidelityEval.Points() points
+	// classified, so the knob keeps its full-fidelity meaning
+	// proportionally.
+	Fidelity Fidelity
+	// FidelityEval opens partial evaluations when Fidelity is enabled;
+	// obj is then unused by the run.
+	FidelityEval FidelityEvaluator
+	// IslandFidelityEval, like IslandObjective, supplies island i's
+	// fidelity evaluator (0-based index) so demes evaluate concurrently.
+	// The evaluators MUST compute identical values for identical inputs.
+	// When nil, every island shares FidelityEval, which must then be safe
+	// for concurrent use.
+	IslandFidelityEval func(island int) FidelityEvaluator
+
 	// SharedMemo, when non-nil, is a second memo tier behind the run's
 	// own memo table: finished objective values shared across runs (and
 	// across islands of one run). A lookup that misses the local memo
@@ -170,6 +192,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: migration interval %d", c.MigrationInterval)
 	case c.MigrationCount < 0:
 		return fmt.Errorf("ga: migration count %d", c.MigrationCount)
+	}
+	if err := c.Fidelity.Validate(); err != nil {
+		return err
+	}
+	if c.Fidelity.Enabled() && c.SharedMemo != nil {
+		return fmt.Errorf("ga: fidelity pruning is incompatible with a shared memo (pruned candidates record cohort-dependent scaled fitness)")
 	}
 	if c.Islands > 1 {
 		if c.PopSize < 2*c.Islands {
@@ -271,6 +299,13 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 	var res Result
 	res.BestValue = math.Inf(1)
 
+	// Multi-fidelity state: with the ladder on, the budget is accounted in
+	// sample points classified (MaxEvaluations × full sample size), so a
+	// pruned candidate spends only what it actually evaluated. lad stays
+	// nil on the classic path, which therefore runs byte-identically.
+	var lad *fidelityLadder
+	var evalPoints, pointBudget int64
+
 	// flush reports the evaluation/memo-hit counter deltas accumulated
 	// since the last flush. Deltas (not totals) compose across resumed
 	// runs and multi-phase searches sharing one recorder.
@@ -299,7 +334,11 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 			return StopCancelled, true
 		default:
 		}
-		if cfg.MaxEvaluations > 0 && evals >= cfg.MaxEvaluations {
+		if lad != nil {
+			if pointBudget > 0 && evalPoints >= pointBudget {
+				return StopBudget, true
+			}
+		} else if cfg.MaxEvaluations > 0 && evals >= cfg.MaxEvaluations {
 			return StopBudget, true
 		}
 		return StopConverged, false
@@ -346,6 +385,32 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 			cfg.SharedMemo.Put(key, ind.value)
 		}
 		return true
+	}
+
+	if cfg.Fidelity.Enabled() {
+		fe := cfg.FidelityEval
+		if fe == nil {
+			return Result{}, fmt.Errorf("ga: fidelity enabled but no FidelityEval supplied")
+		}
+		npts := fe.Points()
+		if npts <= 0 {
+			return Result{}, fmt.Errorf("ga: fidelity evaluator reports %d sample points", npts)
+		}
+		if cfg.MaxEvaluations > 0 {
+			pointBudget = int64(cfg.MaxEvaluations) * int64(npts)
+		}
+		lad = &fidelityLadder{
+			fe: fe, sched: cfg.Fidelity.Schedule(npts), eta: cfg.Fidelity.eta(),
+			spec: spec, label: cfg.Label, memo: memo,
+			checkHalt: checkHalt,
+			onHalt:    func(r StopReason) { halted, haltReason = true, r },
+			isHalted:  func() bool { return halted },
+			charge:    func(points int) { evalPoints += int64(points) },
+			evals:     &evals, memoHits: &memoHits,
+		}
+		if cfg.Observer != nil {
+			lad.emit = cfg.Observer.Event
+		}
 	}
 
 	record := func(pop []individual) GenStats {
@@ -422,6 +487,16 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		for k, v := range memo {
 			cp.Memo = append(cp.Memo, MemoEntry{Bits: []byte(k), Value: v})
 		}
+		if lad != nil {
+			// Version-3 extension: the ladder's point counter and resolved
+			// schedule knobs, so a resume rebuilds the exact rung trajectory.
+			cp.Version = checkpointVersionFidelity
+			cp.EvalPoints = evalPoints
+			cp.Fidelity = &FidelityState{
+				Rungs: cfg.Fidelity.Rungs, Eta: cfg.Fidelity.eta(),
+				MinPoints: cfg.Fidelity.minPoints(), Points: lad.fe.Points(),
+			}
+		}
 		if err := cfg.Checkpoint(cp); err != nil {
 			return err
 		}
@@ -450,6 +525,12 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 		// The interrupted run already reported its evaluations; only work
 		// done after the resume point flows to this run's observer.
 		flushedEvals = cp.Evals
+		if lad != nil {
+			if cp.Fidelity != nil && cp.Fidelity.Points != lad.fe.Points() {
+				return Result{}, fmt.Errorf("ga: checkpoint records a %d-point sample, evaluator has %d", cp.Fidelity.Points, lad.fe.Points())
+			}
+			evalPoints = cp.EvalPoints
+		}
 		for _, e := range cp.Memo {
 			memo[string(e.Bits)] = e.Value
 		}
@@ -479,10 +560,25 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 					ind.bits[b] = byte(rng.IntN(2))
 				}
 			}
+			if lad != nil {
+				// Fidelity: collect the whole initial batch first (same RNG
+				// consumption as the classic loop), then ladder it together.
+				pop = append(pop, ind)
+				continue
+			}
 			if !eval(&ind, i == 0) {
 				break
 			}
 			pop = append(pop, ind)
+		}
+		if lad != nil {
+			batch := make([]*individual, len(pop))
+			for i := range pop {
+				batch[i] = &pop[i]
+			}
+			assigned, _ := lad.run(batch, true)
+			// Like the classic path, a halt keeps the evaluated prefix.
+			pop = pop[:assigned]
 		}
 		record(pop)
 		if !halted {
@@ -509,7 +605,13 @@ func Run(ctx context.Context, spec Spec, obj Objective, cfg Config) (Result, err
 			halted, haltReason = true, r
 			break
 		}
-		next, ok := nextGeneration(pop, spec, cfg, rng, eval)
+		var next []individual
+		var ok bool
+		if lad != nil {
+			next, ok = nextGenerationFidelity(pop, spec, cfg, rng, lad)
+		} else {
+			next, ok = nextGeneration(pop, spec, cfg, rng, eval)
+		}
 		if !ok {
 			// The partial generation is discarded: pop stays on the last
 			// completed boundary, matching the last checkpoint.

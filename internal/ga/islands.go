@@ -95,6 +95,13 @@ type deme struct {
 	memoHits int
 	budget   int // this deme's MaxEvaluations share (0 = unlimited)
 
+	// Multi-fidelity state (nil fe = classic path): the deme's ladder
+	// evaluator, its classified-point counter and its point-budget share
+	// (budget × the full sample size, 0 = unlimited).
+	fe          FidelityEvaluator
+	evalPoints  int64
+	pointBudget int64
+
 	gen       int
 	history   []GenStats
 	best      []int64
@@ -125,10 +132,33 @@ func (d *deme) checkHalt(ctx context.Context) (StopReason, bool) {
 		return StopCancelled, true
 	default:
 	}
-	if d.budget > 0 && d.evals >= d.budget {
+	if d.fe != nil {
+		if d.pointBudget > 0 && d.evalPoints >= d.pointBudget {
+			return StopBudget, true
+		}
+	} else if d.budget > 0 && d.evals >= d.budget {
 		return StopBudget, true
 	}
 	return StopConverged, false
+}
+
+// ladder builds this deme's successive-halving ladder, bound to its memo,
+// counters and halt state. Rung events are buffered like every other
+// per-island event and flushed in island order at the barriers.
+func (d *deme) ladder(ctx context.Context) *fidelityLadder {
+	l := &fidelityLadder{
+		fe: d.fe, sched: d.cfg.Fidelity.Schedule(d.fe.Points()), eta: d.cfg.Fidelity.eta(),
+		spec: d.spec, label: d.cfg.Label, island: d.idx + 1, memo: d.memo,
+		checkHalt: func() (StopReason, bool) { return d.checkHalt(ctx) },
+		onHalt:    func(r StopReason) { d.halted, d.haltReason = true, r },
+		isHalted:  func() bool { return d.halted },
+		charge:    func(points int) { d.evalPoints += int64(points) },
+		evals:     &d.evals, memoHits: &d.memoHits,
+	}
+	if d.cfg.Observer != nil {
+		l.emit = func(e telemetry.Event) { d.events = append(d.events, e) }
+	}
+	return l
 }
 
 // evalFn builds the memoised halt-aware evaluation closure nextGeneration
@@ -238,10 +268,24 @@ func (d *deme) initPopulation(ctx context.Context, seeds [][]int64) {
 				ind.bits[b] = byte(d.rng.IntN(2))
 			}
 		}
+		if d.fe != nil {
+			// Fidelity: collect the whole batch first (same RNG
+			// consumption), then ladder it together below.
+			d.pop = append(d.pop, ind)
+			continue
+		}
 		if !eval(&ind, i == 0) {
 			break
 		}
 		d.pop = append(d.pop, ind)
+	}
+	if d.fe != nil {
+		batch := make([]*individual, len(d.pop))
+		for i := range d.pop {
+			batch[i] = &d.pop[i]
+		}
+		assigned, _ := d.ladder(ctx).run(batch, true)
+		d.pop = d.pop[:assigned]
 	}
 	d.record()
 }
@@ -269,7 +313,13 @@ func (d *deme) advance(ctx context.Context, target int) {
 			d.halted, d.haltReason = true, r
 			return
 		}
-		next, ok := nextGeneration(d.pop, d.spec, d.cfg, d.rng, eval)
+		var next []individual
+		var ok bool
+		if d.fe != nil {
+			next, ok = nextGenerationFidelity(d.pop, d.spec, d.cfg, d.rng, d.ladder(ctx))
+		} else {
+			next, ok = nextGeneration(d.pop, d.spec, d.cfg, d.rng, eval)
+		}
 		if !ok {
 			// Halted mid-generation: the partial generation is discarded
 			// and the deme stays on its last completed boundary.
@@ -306,6 +356,7 @@ func (d *deme) state() (IslandState, error) {
 	for k, v := range d.memo {
 		st.Memo = append(st.Memo, MemoEntry{Bits: []byte(k), Value: v})
 	}
+	st.EvalPoints = d.evalPoints
 	return st, nil
 }
 
@@ -316,6 +367,7 @@ func (d *deme) restore(st IslandState) error {
 	}
 	d.gen = st.Gen
 	d.evals = st.Evals
+	d.evalPoints = st.EvalPoints
 	// The interrupted run already reported this deme's work.
 	d.flushedEvals = st.Evals
 	for _, e := range st.Memo {
@@ -541,6 +593,22 @@ func runIslands(ctx context.Context, spec Spec, obj Objective, cfg Config) (Resu
 		if cfg.IslandObjective != nil {
 			d.obj = cfg.IslandObjective(i)
 		}
+		if cfg.Fidelity.Enabled() {
+			d.fe = cfg.FidelityEval
+			if cfg.IslandFidelityEval != nil {
+				d.fe = cfg.IslandFidelityEval(i)
+			}
+			if d.fe == nil {
+				return Result{}, fmt.Errorf("ga: fidelity enabled but no FidelityEval supplied")
+			}
+			npts := d.fe.Points()
+			if npts <= 0 {
+				return Result{}, fmt.Errorf("ga: fidelity evaluator reports %d sample points", npts)
+			}
+			if d.budget > 0 {
+				d.pointBudget = int64(d.budget) * int64(npts)
+			}
+		}
 		demes[i] = d
 	}
 
@@ -576,6 +644,13 @@ func runIslands(ctx context.Context, spec Spec, obj Objective, cfg Config) (Resu
 			Round:    round,
 			Islands:  make([]IslandState, n),
 		}
+		if cfg.Fidelity.Enabled() {
+			cp.Version = checkpointVersionFidelity
+			cp.Fidelity = &FidelityState{
+				Rungs: cfg.Fidelity.Rungs, Eta: cfg.Fidelity.eta(),
+				MinPoints: cfg.Fidelity.minPoints(), Points: demes[0].fe.Points(),
+			}
+		}
 		individuals, memoEntries := 0, 0
 		for i, d := range demes {
 			st, err := d.state()
@@ -584,6 +659,7 @@ func runIslands(ctx context.Context, spec Spec, obj Objective, cfg Config) (Resu
 			}
 			cp.Islands[i] = st
 			cp.Evals += d.evals
+			cp.EvalPoints += d.evalPoints
 			if d.gen > cp.Gen {
 				cp.Gen = d.gen
 			}
@@ -610,6 +686,9 @@ func runIslands(ctx context.Context, spec Spec, obj Objective, cfg Config) (Resu
 	if cp := cfg.ResumeFrom; cp != nil {
 		if err := cp.validate(spec, cfg); err != nil {
 			return Result{}, err
+		}
+		if cfg.Fidelity.Enabled() && cp.Fidelity != nil && cp.Fidelity.Points != demes[0].fe.Points() {
+			return Result{}, fmt.Errorf("ga: checkpoint records a %d-point sample, evaluator has %d", cp.Fidelity.Points, demes[0].fe.Points())
 		}
 		for i, d := range demes {
 			if err := d.restore(cp.Islands[i]); err != nil {

@@ -116,6 +116,13 @@ type Checkpoint struct {
 	// are authoritative).
 	Round   int           `json:"round,omitempty"`
 	Islands []IslandState `json:"islands,omitempty"`
+	// EvalPoints and Fidelity are the version-3 multi-fidelity extension:
+	// EvalPoints is the sample-point budget counter (points classified so
+	// far), Fidelity the resolved ladder schedule the run was using. Both
+	// carry omitempty so version-1/2 snapshots keep their exact historical
+	// encoding.
+	EvalPoints int64          `json:"eval_points,omitempty"`
+	Fidelity   *FidelityState `json:"fidelity,omitempty"`
 	// Sum is the hex SHA-256 of the snapshot's canonical encoding (the
 	// same JSON with Sum itself empty). WriteCheckpoint fills it in;
 	// ReadCheckpoint refuses a snapshot whose body does not hash back to
@@ -134,6 +141,23 @@ const checkpointVersion = 1
 // single-population runs.
 const checkpointVersionIslands = 2
 
+// checkpointVersionFidelity marks snapshots written with the
+// multi-fidelity ladder enabled (Config.Fidelity): version 3 adds the
+// classified-point counters and the resolved rung schedule, for both the
+// single-population and island layouts. A fidelity run can only resume a
+// version-3 snapshot whose schedule matches its own.
+const checkpointVersionFidelity = 3
+
+// FidelityState records the resolved fidelity schedule inside a
+// version-3 checkpoint, guarding a resume against a drifted ladder.
+type FidelityState struct {
+	Rungs     int     `json:"rungs"`
+	Eta       float64 `json:"eta"`
+	MinPoints int     `json:"min_points"`
+	// Points is the full-fidelity sample size the schedule was built on.
+	Points int `json:"points"`
+}
+
 // IslandState is one deme's share of a version-2 checkpoint: the same
 // population/RNG/memo/history capture the single-population snapshot
 // holds, scoped to one island.
@@ -146,6 +170,9 @@ type IslandState struct {
 	Best      []int64     `json:"best"`
 	BestValue float64     `json:"best_value"`
 	History   []GenStats  `json:"history"`
+	// EvalPoints is the deme's classified-point counter (version 3 only;
+	// omitempty keeps version-2 snapshots byte-identical).
+	EvalPoints int64 `json:"eval_points,omitempty"`
 }
 
 // validate checks a snapshot against the run configuration it is about to
@@ -157,6 +184,9 @@ func (c *Checkpoint) validate(spec Spec, cfg Config) error {
 	if cfg.Islands > 1 {
 		want = checkpointVersionIslands
 	}
+	if cfg.Fidelity.Enabled() {
+		want = checkpointVersionFidelity
+	}
 	switch {
 	case c.Version != want:
 		return fmt.Errorf("ga: checkpoint version %d (want %d)", c.Version, want)
@@ -164,6 +194,18 @@ func (c *Checkpoint) validate(spec Spec, cfg Config) error {
 		return fmt.Errorf("ga: checkpoint genome is %d bits, spec wants %d", c.SpecBits, spec.TotalBits())
 	case cfg.Label != "" && c.Label != "" && c.Label != cfg.Label:
 		return fmt.Errorf("ga: checkpoint labelled %q, search is %q", c.Label, cfg.Label)
+	}
+	if cfg.Fidelity.Enabled() {
+		f := c.Fidelity
+		if f == nil {
+			return fmt.Errorf("ga: checkpoint version %d records no fidelity schedule", c.Version)
+		}
+		if f.Rungs != cfg.Fidelity.Rungs || f.Eta != cfg.Fidelity.eta() || f.MinPoints != cfg.Fidelity.minPoints() {
+			return fmt.Errorf("ga: checkpoint fidelity schedule (rungs=%d eta=%v min=%d) does not match config (rungs=%d eta=%v min=%d)",
+				f.Rungs, f.Eta, f.MinPoints, cfg.Fidelity.Rungs, cfg.Fidelity.eta(), cfg.Fidelity.minPoints())
+		}
+	} else if c.Fidelity != nil {
+		return fmt.Errorf("ga: checkpoint was written with fidelity pruning enabled; this run has it off")
 	}
 	if cfg.Islands > 1 {
 		return c.validateIslands(spec, cfg)

@@ -14,7 +14,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/cachesim"
@@ -25,6 +28,17 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/tiling"
 )
+
+// profileLabels gates pprof goroutine labelling on the evaluation workers.
+// Off by default: labels cost an allocation per worker launch, which the
+// zero-overhead telemetry contract forbids on unprofiled runs.
+var profileLabels atomic.Bool
+
+// SetProfileLabels toggles pprof labels (kernel, phase, rung) on the
+// parallel evaluation workers, so CPU profiles attribute classification
+// time per kernel and per fidelity rung. The CLIs enable it alongside
+// -pprof.
+func SetProfileLabels(on bool) { profileLabels.Store(on) }
 
 // PaperSampleSize is the sample size the paper derives for a confidence
 // interval of width 0.1 at 90% confidence (§2.3).
@@ -234,6 +248,14 @@ func Draw(box *iterspace.Box, n int, rng *rand.Rand) *Sample {
 	return s
 }
 
+// Range returns a view of the sample holding points [lo, hi) — the unit
+// the multi-fidelity ladder evaluates: rung r extends a candidate from
+// its previous prefix to the next, so no point is classified twice. The
+// view shares the backing points; it must not be mutated.
+func (s *Sample) Range(lo, hi int) *Sample {
+	return &Sample{Points: s.Points[lo:hi]}
+}
+
 // Fingerprint returns a canonical content hash of the sample: two samples
 // fingerprint equally iff they hold the same points in the same order.
 // Because the fitness of a candidate is a pure function of (nest, cache
@@ -314,12 +336,10 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 		// and panic recovery behave identically at every worker count.
 		return s.EvaluateWith(ctx, []*cme.Analyzer{an})
 	}
-	ans := make([]*cme.Analyzer, workers)
-	ans[0] = an
-	for w := 1; w < workers; w++ {
-		ans[w] = an.Clone()
-	}
-	return s.EvaluateWith(ctx, ans)
+	// WorkerPool caches the clones on the analyzer, so repeated parallel
+	// evaluations over one analyzer reuse them instead of re-cloning
+	// (2 KiB of scratch per clone) every call.
+	return s.EvaluateWith(ctx, an.WorkerPool(workers))
 }
 
 // EvaluateWith is the pooling-friendly core of EvaluateContext: the caller
@@ -335,7 +355,39 @@ func (s *Sample) EvaluateContext(ctx context.Context, an *cme.Analyzer, workers 
 // equal the number of evaluation batches regardless of the worker count —
 // which batch a scripted fault lands on is deterministic. Any panic,
 // injected or genuine, surfaces as an error, never a crash.
-func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (st cachesim.Stats, err error) {
+func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (cachesim.Stats, error) {
+	return s.evaluateWith(ctx, ans, 0)
+}
+
+// evalScratch is one parallel evaluation's per-worker result arrays,
+// pooled so the multi-worker path stays near-zero-alloc across the
+// thousands of batches a search runs.
+type evalScratch struct {
+	partial []cachesim.Stats
+	errs    []error
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// take sizes the scratch for n workers, zeroing reused entries.
+func (sc *evalScratch) take(n int) {
+	if cap(sc.partial) < n {
+		sc.partial = make([]cachesim.Stats, n)
+		sc.errs = make([]error, n)
+		return
+	}
+	sc.partial = sc.partial[:n]
+	sc.errs = sc.errs[:n]
+	for i := range sc.partial {
+		sc.partial[i] = cachesim.Stats{}
+		sc.errs[i] = nil
+	}
+}
+
+// evaluateWith is the core of EvaluateWith; rung (1-based, 0 = classic
+// full-fidelity evaluation) tags the workers' pprof labels so profiles
+// attribute time per fidelity rung.
+func (s *Sample) evaluateWith(ctx context.Context, ans []*cme.Analyzer, rung int) (st cachesim.Stats, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -364,8 +416,9 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (st cach
 		err = classifyRange(ctx, ans[0], s.Points, &st)
 		return st, err
 	}
-	partial := make([]cachesim.Stats, workers)
-	errs := make([]error, workers)
+	labels := profileLabels.Load()
+	sc := scratchPool.Get().(*evalScratch)
+	sc.take(workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -377,17 +430,35 @@ func (s *Sample) EvaluateWith(ctx context.Context, ans []*cme.Analyzer) (st cach
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = classifyRange(ctx, ans[w], s.Points[lo:hi], &partial[w])
+			if labels {
+				pprof.Do(ctx, pprof.Labels(
+					"kernel", ans[0].Nest().Name,
+					"phase", "evaluate",
+					"rung", strconv.Itoa(rung),
+				), func(ctx context.Context) {
+					sc.errs[w] = classifyRange(ctx, ans[w], s.Points[lo:hi], &sc.partial[w])
+				})
+				return
+			}
+			sc.errs[w] = classifyRange(ctx, ans[w], s.Points[lo:hi], &sc.partial[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, ps := range partial {
+	for _, ps := range sc.partial {
 		st.Add(ps)
 	}
-	for _, werr := range errs {
+	err = nil
+	for _, werr := range sc.errs {
 		if werr != nil {
-			return st, werr
+			err = werr
+			break
 		}
+	}
+	// Every worker has drained (wg.Wait above), so the scratch can be
+	// recycled; a panic path simply drops it.
+	scratchPool.Put(sc)
+	if err != nil {
+		return st, err
 	}
 	// Every worker finished its slice: the result is complete and valid
 	// even if ctx expired after the last point was classified.
@@ -411,14 +482,25 @@ func (s *Sample) EvaluateObserved(ctx context.Context, ans []*cme.Analyzer, obs 
 // of the island-model GA report which deme each batch served, so a stream
 // consumer can attribute evaluation work per island.
 func (s *Sample) EvaluateObservedIsland(ctx context.Context, ans []*cme.Analyzer, obs telemetry.Recorder, island int) (cachesim.Stats, error) {
+	return s.EvaluateObservedRung(ctx, ans, obs, island, 0)
+}
+
+// EvaluateObservedRung is EvaluateObservedIsland with the batch tagged by
+// its 1-based fidelity rung (0 = classic full-fidelity evaluation): the
+// multi-fidelity ladder evaluates cumulative sample-prefix ranges, and
+// rung attribution in the event stream (and in pprof labels) is how a
+// consumer sees where the pruning spends its points. The emitted batch
+// covers exactly this sample view's points — for a ladder extension,
+// the newly classified range, not the cumulative prefix.
+func (s *Sample) EvaluateObservedRung(ctx context.Context, ans []*cme.Analyzer, obs telemetry.Recorder, island, rung int) (cachesim.Stats, error) {
 	if obs == nil {
-		return s.EvaluateWith(ctx, ans)
+		return s.evaluateWith(ctx, ans, rung)
 	}
 	before := make([]cme.WalkCounts, len(ans))
 	for i, an := range ans {
 		before[i] = an.WalkCounts()
 	}
-	st, err := s.EvaluateWith(ctx, ans)
+	st, err := s.evaluateWith(ctx, ans, rung)
 	if err != nil {
 		return st, err
 	}
@@ -434,6 +516,7 @@ func (s *Sample) EvaluateObservedIsland(ctx context.Context, ans []*cme.Analyzer
 		Compulsory:  st.Compulsory,
 		Replacement: st.Replacement,
 		WalkSteps:   wc.Steps,
+		Rung:        rung,
 	})
 	obs.Add(telemetry.Counters{
 		SampledPoints:      uint64(len(s.Points)),
@@ -453,7 +536,10 @@ func classifyRange(ctx context.Context, an *cme.Analyzer, points [][]int64, st *
 		}
 	}()
 	sp := an.Space()
-	p := make([]int64, sp.NumCoords())
+	// Each worker owns its analyzer, so the analyzer-cached scratch point
+	// is private to this loop; reusing it removes the last per-batch
+	// allocation on the hot path.
+	p := an.PointScratch()
 	for i, orig := range points {
 		if i&31 == 0 {
 			select {

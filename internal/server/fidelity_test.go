@@ -1,0 +1,51 @@
+package server
+
+import (
+	"testing"
+)
+
+// TestFidelityNormalization: the fidelity knob is validated at the door,
+// splits the cache key when set (it changes the search trajectory), and
+// leaves the key byte-identical to the pre-fidelity format when zero so
+// existing cached results stay addressable.
+func TestFidelityNormalization(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k", Fidelity: -1}); err == nil {
+		t.Fatal("negative fidelity accepted")
+	}
+	if _, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k", Fidelity: maxFidelityRungs + 1}); err == nil {
+		t.Fatalf("fidelity above the server limit %d accepted", maxFidelityRungs)
+	}
+
+	base, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k", Seed: 1, Fidelity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.fidelity != 3 {
+		t.Fatalf("fidelity not carried through normalization: %d", fid.fidelity)
+	}
+	if fid.key == base.key {
+		t.Fatal("fidelity did not split the cache key; it changes the search trajectory")
+	}
+	if opt := fid.options(s); opt.Fidelity.Rungs != 3 {
+		t.Fatalf("options dropped the fidelity rungs: %+v", opt.Fidelity)
+	}
+
+	// Explicit zero is the classic path and must hash like the old wire
+	// format (omitempty) so pre-fidelity cache entries still hit.
+	zero, err := s.normalize(TileRequest{Kernel: "MM", Cache: "8k", Seed: 1, Fidelity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.key != base.key {
+		t.Fatal("fidelity 0 split the cache key away from the legacy format")
+	}
+}

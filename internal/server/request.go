@@ -54,6 +54,13 @@ type TileRequest struct {
 	// population). The island count changes the search trajectory, so it
 	// is part of the result-cache key.
 	Islands int `json:"islands,omitempty"`
+	// Fidelity is the number of successive-halving rungs for multi-fidelity
+	// candidate evaluation (0 or 1 = classic full-fidelity evaluation):
+	// candidates are first ranked on a coarse prefix of the sample and only
+	// survivors pay the full sample, so the same evaluation budget searches
+	// more candidates. Changes the search trajectory, so it is part of the
+	// result-cache key.
+	Fidelity int `json:"fidelity,omitempty"`
 }
 
 // RatioEstimate is the response form of a sampled miss-ratio estimate.
@@ -109,6 +116,7 @@ type normRequest struct {
 	timeout    time.Duration
 	workers    int
 	islands    int
+	fidelity   int
 	nest       *ir.Nest
 	key        string
 	// idemKey is the request's durability identity: the client's
@@ -134,6 +142,7 @@ type hashedRequest struct {
 	MaxEvals  int          `json:"maxEvals"`
 	TimeoutMs int64        `json:"timeoutMs"`
 	Islands   int          `json:"islands"`
+	Fidelity  int          `json:"fidelity,omitempty"`
 }
 
 // normalize validates a request against the server's limits and resolves
@@ -151,7 +160,7 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 	default:
 		return nil, fmt.Errorf("unknown mode %q (want tile or order)", req.Mode)
 	}
-	if req.SamplePoints < 0 || req.MaxEvaluations < 0 || req.TimeoutMs < 0 || req.Workers < 0 || req.Islands < 0 {
+	if req.SamplePoints < 0 || req.MaxEvaluations < 0 || req.TimeoutMs < 0 || req.Workers < 0 || req.Islands < 0 || req.Fidelity < 0 {
 		return nil, fmt.Errorf("negative search bound")
 	}
 	if req.SamplePoints > maxSamplePoints {
@@ -159,6 +168,9 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 	}
 	if req.Islands > maxIslands {
 		return nil, fmt.Errorf("islands %d exceeds the server limit %d", req.Islands, maxIslands)
+	}
+	if req.Fidelity > maxFidelityRungs {
+		return nil, fmt.Errorf("fidelity %d exceeds the server limit %d", req.Fidelity, maxFidelityRungs)
 	}
 	var nest *ir.Nest
 	name := req.Kernel
@@ -203,13 +215,14 @@ func (s *Server) normalize(req TileRequest) (*normRequest, error) {
 		timeout:    timeout,
 		workers:    req.Workers,
 		islands:    islands,
+		fidelity:   req.Fidelity,
 		nest:       nest,
 	}
 	sum := sha256.Sum256(mustJSON(hashedRequest{
 		Kernel: req.Kernel, Size: req.Size, Source: req.Source,
 		Cache: cfg, Mode: mode, Seed: req.Seed, Points: req.SamplePoints,
 		MaxEvals: req.MaxEvaluations, TimeoutMs: timeout.Milliseconds(),
-		Islands: islands,
+		Islands: islands, Fidelity: req.Fidelity,
 	}))
 	n.key = hex.EncodeToString(sum[:])
 	return n, nil
@@ -224,6 +237,11 @@ const maxSamplePoints = 100 * sampling.PaperSampleSize
 // demes, and each island runs its own evaluation goroutine.
 const maxIslands = 8
 
+// maxFidelityRungs bounds the successive-halving ladder depth: with the
+// default eta of 2 the paper's 164-point sample already collapses to its
+// 16-point floor by the sixth rung, so deeper ladders only add bookkeeping.
+const maxFidelityRungs = 6
+
 // options maps the normalized request onto the search runtime: the
 // per-request deadline rides Options.Deadline, the budget rides
 // MaxEvaluations, and the service always quarantines broken evaluations so
@@ -236,6 +254,7 @@ func (n *normRequest) options(s *Server) core.Options {
 		MaxEvaluations: n.maxEvals,
 		Workers:        n.workers,
 		Islands:        n.islands,
+		Fidelity:       ga.Fidelity{Rungs: n.fidelity},
 		Deadline:       n.timeout,
 		StallTimeout:   s.cfg.StallTimeout,
 		FailurePolicy:  core.FailQuarantine,

@@ -110,6 +110,9 @@ func (j *JSONL) record(e telemetry.Event) any {
 		}
 		return rec
 	case telemetry.EvaluationBatch:
+		// The island and rung fields are omitted when zero, so classic
+		// single-population full-fidelity streams keep their exact
+		// historical encoding.
 		return struct {
 			Ev          string `json:"ev"`
 			Island      int    `json:"island,omitempty"`
@@ -119,8 +122,21 @@ func (j *JSONL) record(e telemetry.Event) any {
 			Compulsory  uint64 `json:"compulsory"`
 			Replacement uint64 `json:"replacement"`
 			WalkSteps   uint64 `json:"walk_steps"`
+			Rung        int    `json:"rung,omitempty"`
 		}{string(ev.Kind()), ev.Island, ev.Points, ev.Accesses, ev.Hits, ev.Compulsory,
-			ev.Replacement, ev.WalkSteps}
+			ev.Replacement, ev.WalkSteps, ev.Rung}
+	case telemetry.EvaluationRung:
+		return struct {
+			Ev         string `json:"ev"`
+			Search     string `json:"search"`
+			Island     int    `json:"island,omitempty"`
+			Rung       int    `json:"rung"`
+			Points     int    `json:"points"`
+			Candidates int    `json:"candidates"`
+			Promoted   int    `json:"promoted"`
+			Pruned     int    `json:"pruned"`
+		}{string(ev.Kind()), ev.Search, ev.Island, ev.Rung, ev.Points,
+			ev.Candidates, ev.Promoted, ev.Pruned}
 	case telemetry.IslandMigration:
 		return struct {
 			Ev     string `json:"ev"`

@@ -49,6 +49,15 @@ func (t *TTY) Event(e telemetry.Event) {
 			fmt.Fprintf(t.w, "  eval %d points: %d hit / %d compulsory / %d replacement (%d walk steps)\n",
 				ev.Points, ev.Hits, ev.Compulsory, ev.Replacement, ev.WalkSteps)
 		}
+	case telemetry.EvaluationRung:
+		if t.Verbose {
+			label := ev.Search
+			if ev.Island > 0 {
+				label = fmt.Sprintf("%s/i%d", ev.Search, ev.Island)
+			}
+			fmt.Fprintf(t.w, "[%s] rung %d @ %d points: %d candidates, %d promoted, %d pruned\n",
+				label, ev.Rung, ev.Points, ev.Candidates, ev.Promoted, ev.Pruned)
+		}
 	case telemetry.IslandMigration:
 		fmt.Fprintf(t.w, "[%s] migration i%d -> i%d (%d elites) @ gen %d\n",
 			ev.Search, ev.From, ev.To, ev.Count, ev.Gen)

@@ -42,6 +42,10 @@ const (
 	// island-model GA: island From sent Count elites to island To at a
 	// migration barrier.
 	KindIslandMigration Kind = "island_migration"
+	// KindEvaluationRung marks one completed rung of the multi-fidelity
+	// successive-halving ladder: a candidate cohort was scored on a sample
+	// prefix and the bottom fraction pruned.
+	KindEvaluationRung Kind = "evaluation_rung"
 	// KindEvaluationQuarantined and KindCheckpointRecovered are the
 	// fault-tolerance events: a candidate whose evaluation failed was
 	// assigned worst fitness and set aside, or a corrupt/missing primary
@@ -161,10 +165,39 @@ type EvaluationBatch struct {
 	// batch cost, summed across evaluation workers (worker-count
 	// invariant: the sum covers the same points regardless of the split).
 	WalkSteps uint64
+	// Rung is the 1-based fidelity rung this batch was evaluated for; 0
+	// means a classic full-fidelity evaluation outside the ladder.
+	Rung int
 }
 
 // Kind implements Event.
 func (EvaluationBatch) Kind() Kind { return KindEvaluationBatch }
+
+// EvaluationRung reports one completed rung of the multi-fidelity
+// successive-halving ladder over one generation's candidate cohort.
+// Emitted in deterministic order: directly by the single-population run,
+// buffered and flushed in island order at the barriers by the island
+// runtime.
+type EvaluationRung struct {
+	// Search is the GA phase label.
+	Search string
+	// Island is the 1-based island index; 0 means a single-population run.
+	Island int
+	// Rung is the 1-based rung index within the generation's ladder.
+	Rung int
+	// Points is the cumulative sample-prefix size candidates were scored
+	// on at this rung.
+	Points int
+	// Candidates is the cohort size entering the rung; Promoted of them
+	// advanced to the next rung and Pruned were cut at scaled fitness.
+	// The final rung promotes nobody — its candidates are finished exact.
+	Candidates int
+	Promoted   int
+	Pruned     int
+}
+
+// Kind implements Event.
+func (EvaluationRung) Kind() Kind { return KindEvaluationRung }
 
 // IslandMigration reports one edge of a ring-topology elite exchange at a
 // migration barrier of the island-model GA: island From's best Count

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Benchmark regression gate: diff the two newest checked-in BENCH_pr*.json
+# trajectory files and fail when a core micro-benchmark (the point solver
+# and the parallel evaluator by default) got more than BENCH_THRESHOLD
+# percent slower in ns/op. Hardware varies across the machines that
+# recorded these files, so the default threshold is deliberately loose —
+# this catches order-of-magnitude mistakes, not single-digit noise.
+# With fewer than two trajectory files there is nothing to diff and the
+# gate skips with a note, mirroring how `make lint` degrades.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+files=$(ls BENCH_pr*.json 2>/dev/null | sort -V | tail -2)
+if [ "$(printf '%s\n' "$files" | grep -c .)" -lt 2 ]; then
+    echo "bench-regress: fewer than two BENCH_pr*.json files, skipping"
+    exit 0
+fi
+old=$(printf '%s\n' "$files" | head -1)
+new=$(printf '%s\n' "$files" | tail -1)
+
+echo "bench-regress: $old -> $new"
+exec go run ./cmd/benchjson -compare \
+    -match "${BENCH_MATCH:-Classify|EvaluateParallel}" \
+    -threshold "${BENCH_THRESHOLD:-20}" \
+    "$old" "$new"
